@@ -1,0 +1,250 @@
+package floatprint
+
+// Benchmark harness regenerating the paper's evaluation (see DESIGN.md §6
+// and EXPERIMENTS.md):
+//
+//   Table 2 — BenchmarkTable2Scaling*: the three scaling algorithms over
+//             the Schryer corpus, base 10, free format.
+//   Table 3 — BenchmarkTable3*: free format vs straightforward 17-digit
+//             fixed format vs simulated printf.
+//   §5 stat / ablations — digit-count metric and estimator accuracy are
+//             reported as custom benchmark metrics.
+//
+// Absolute times differ from the 1996 hardware; the claims under test are
+// the *ratios* (iterative ≫ estimate, free ≈ 1.66× fixed).  Run
+// `go run ./cmd/fpbench -all` for the full-corpus table reproduction with
+// pass/fail shape checks.
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"floatprint/internal/baseline"
+	"floatprint/internal/core"
+	"floatprint/internal/fpformat"
+	"floatprint/internal/gay"
+	"floatprint/internal/grisu"
+	"floatprint/internal/ryu"
+	"floatprint/internal/schryer"
+)
+
+const benchCorpusSize = 16384
+
+var (
+	benchOnce   sync.Once
+	benchFloats []float64
+	benchValues []fpformat.Value
+)
+
+func benchCorpus() ([]float64, []fpformat.Value) {
+	benchOnce.Do(func() {
+		benchFloats = schryer.CorpusN(benchCorpusSize)
+		benchValues = make([]fpformat.Value, len(benchFloats))
+		for i, f := range benchFloats {
+			benchValues[i] = fpformat.DecodeFloat64(f)
+		}
+	})
+	return benchFloats, benchValues
+}
+
+func benchScaling(b *testing.B, s core.Scaling) {
+	_, values := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FreeFormat(values[i%len(values)], 10, s, core.ReaderNearestEven); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 2, row 1: Steele & White's iterative scaling (paper: ~145x).
+func BenchmarkTable2ScalingIterative(b *testing.B) { benchScaling(b, core.ScalingIterative) }
+
+// Table 2, row 2: floating-point logarithm scaling (paper: ~1.2x).
+func BenchmarkTable2ScalingFloatLog(b *testing.B) { benchScaling(b, core.ScalingFloatLog) }
+
+// Table 2, row 3: the paper's estimator with penalty-free fixup (baseline 1x).
+func BenchmarkTable2ScalingEstimate(b *testing.B) { benchScaling(b, core.ScalingEstimate) }
+
+// Table 3, column "free-format": shortest output, nearest-even reader.
+func BenchmarkTable3FreeFormat(b *testing.B) {
+	_, values := benchCorpus()
+	totalDigits := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := core.FreeFormat(values[i%len(values)], 10, core.ScalingEstimate, core.ReaderNearestEven)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalDigits += len(r.Digits)
+	}
+	b.ReportMetric(float64(totalDigits)/float64(b.N), "digits/op") // paper §5: 15.2
+}
+
+// Table 3, column "fixed-format": straightforward 17 significant digits.
+func BenchmarkTable3Fixed17(b *testing.B) {
+	_, values := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.FixedDigits(values[i%len(values)], 10, 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 3, column "printf": simulated x87-era printf at 17 digits.
+func BenchmarkTable3NaivePrintf(b *testing.B) {
+	floats, _ := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.NaivePrintf(floats[i%len(floats)], 17)
+	}
+}
+
+// Ablation A (DESIGN.md): estimator accuracy, ours vs Gay's, reported as
+// exact-hit percentages alongside the cost of each estimate call.
+func BenchmarkAblationEstimatorBurgerDybvig(b *testing.B) {
+	floats, values := benchCorpus()
+	exact := 0
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += core.EstimateScale(values[i%len(values)], 10)
+	}
+	b.StopTimer()
+	_ = sink
+	for i, v := range values {
+		k, err := core.ExactScale(v, 10, core.ReaderNearestEven)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if core.EstimateScale(v, 10) == k {
+			exact++
+		}
+		_ = floats[i]
+	}
+	b.ReportMetric(100*float64(exact)/float64(len(values)), "%exact")
+}
+
+func BenchmarkAblationEstimatorGay(b *testing.B) {
+	floats, values := benchCorpus()
+	exact := 0
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += gay.EstimateCeilLog10(floats[i%len(floats)])
+	}
+	b.StopTimer()
+	_ = sink
+	for i, f := range floats {
+		k, err := core.ExactScale(values[i], 10, core.ReaderNearestEven)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gay.EstimateCeilLog10(f) == k {
+			exact++
+		}
+	}
+	b.ReportMetric(100*float64(exact)/float64(len(floats)), "%exact")
+}
+
+// Three generations of shortest-printing algorithms plus Go's strconv:
+// the paper's exact algorithm, Grisu3 (with exact fallback), and Ryū.
+func BenchmarkGenerationsDragonExact(b *testing.B) {
+	_, values := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FreeFormat(values[i%len(values)], 10, core.ScalingEstimate, core.ReaderNearestEven); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerationsGrisuFallback(b *testing.B) {
+	floats, values := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := grisu.Shortest(floats[i%len(floats)]); !ok {
+			if _, err := core.FreeFormat(values[i%len(values)], 10, core.ScalingEstimate, core.ReaderNearestEven); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkGenerationsRyu(b *testing.B) {
+	floats, _ := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ryu.Shortest(floats[i%len(floats)])
+	}
+}
+
+// Public-API end-to-end benchmarks, with Go's strconv for context.
+func BenchmarkShortest(b *testing.B) {
+	floats, _ := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shortest(floats[i%len(floats)])
+	}
+}
+
+func BenchmarkStrconvShortestReference(b *testing.B) {
+	floats, _ := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strconv.FormatFloat(floats[i%len(floats)], 'e', -1, 64)
+	}
+}
+
+func BenchmarkFixedPosition(b *testing.B) {
+	floats, _ := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := floats[i%len(floats)]
+		if f > 1e18 || f < 1e-18 {
+			f = 1234.5678
+		}
+		FixedPosition(f, -6)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	floats, _ := benchCorpus()
+	strs := make([]string, 512)
+	for i := range strs {
+		strs[i] = Shortest(floats[i*7%len(floats)])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(strs[i%len(strs)], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStrconvParseReference(b *testing.B) {
+	floats, _ := benchCorpus()
+	strs := make([]string, 512)
+	for i := range strs {
+		strs[i] = strconv.FormatFloat(floats[i*7%len(floats)], 'e', -1, 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := strconv.ParseFloat(strs[i%len(strs)], 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

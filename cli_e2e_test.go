@@ -1,0 +1,77 @@
+package floatprint
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runTool builds and runs a command from cmd/ with the given arguments,
+// returning combined output.  Skipped in -short mode (compilation cost).
+func runTool(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI end-to-end test in short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIFpprint(t *testing.T) {
+	out := runTool(t, "fpprint", "0.3", "1e23")
+	if !strings.Contains(out, "0.3") || !strings.Contains(out, "1e23") {
+		t.Errorf("fpprint output:\n%s", out)
+	}
+	out = runTool(t, "fpprint", "-pos", "-20", "100")
+	if !strings.Contains(out, "100.000000000000000#####") {
+		t.Errorf("fpprint marks output:\n%s", out)
+	}
+	out = runTool(t, "fpprint", "-base", "16", "255.5")
+	if !strings.Contains(out, "ff.8") {
+		t.Errorf("fpprint hex output:\n%s", out)
+	}
+	out = runTool(t, "fpprint", "-mode", "unknown", "1e23")
+	if !strings.Contains(out, "9.999999999999999e22") {
+		t.Errorf("fpprint unknown-mode output:\n%s", out)
+	}
+}
+
+func TestCLIFpbenchSmall(t *testing.T) {
+	out := runTool(t, "fpbench", "-table", "2", "-n", "3000")
+	for _, want := range []string{"Steele & White", "estimate", "Relative"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fpbench table 2 missing %q:\n%s", want, out)
+		}
+	}
+	out = runTool(t, "fpbench", "-successors", "-n", "3000")
+	if !strings.Contains(out, "Ryu") || !strings.Contains(out, "Grisu3") {
+		t.Errorf("fpbench successors output:\n%s", out)
+	}
+}
+
+func TestCLIFpverifySmall(t *testing.T) {
+	out := runTool(t, "fpverify", "-n", "2000")
+	if !strings.Contains(out, "all checks passed") {
+		t.Errorf("fpverify output:\n%s", out)
+	}
+}
+
+func TestCLIFpfuzzSmall(t *testing.T) {
+	out := runTool(t, "fpfuzz", "-n", "1500", "-basic-every", "200")
+	if !strings.Contains(out, "0 failures") {
+		t.Errorf("fpfuzz output:\n%s", out)
+	}
+}
+
+func TestCLIFpinspect(t *testing.T) {
+	out := runTool(t, "fpinspect", "1e23")
+	for _, want := range []string{"even mantissa: true", "shortest", "1e23"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fpinspect missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command fpbench regenerates the paper's evaluation tables (Burger &
+// Dybvig, PLDI 1996) on this machine:
+//
+//	fpbench -table 2     Table 2: relative cost of the three scaling algorithms
+//	fpbench -table 3     Table 3: free vs fixed vs printf, mis-rounding count
+//	fpbench -stats       §5 statistic: mean shortest-digit count (paper: 15.2)
+//	fpbench -ablation    estimator accuracy: Burger-Dybvig vs Gay
+//	fpbench -all         everything
+//	fpbench -n 50000     corpus size (default: the paper's full 250,680)
+//
+// Results print with the paper's reference numbers alongside for direct
+// comparison; see EXPERIMENTS.md for a recorded run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"floatprint/internal/harness"
+	"floatprint/internal/schryer"
+)
+
+func main() {
+	table := flag.Int("table", 0, "reproduce one table (2 or 3)")
+	stats := flag.Bool("stats", false, "mean shortest-digit statistic")
+	ablation := flag.Bool("ablation", false, "estimator accuracy ablation")
+	successors := flag.Bool("successors", false, "compare with Grisu3 and Ryu (follow-on work)")
+	all := flag.Bool("all", false, "run every experiment")
+	n := flag.Int("n", schryer.CorpusSize, "corpus size (max 250680)")
+	flag.Parse()
+
+	if !*all && *table == 0 && !*stats && !*ablation && !*successors {
+		flag.Usage()
+		os.Exit(2)
+	}
+	corpus := schryer.CorpusN(*n)
+	fmt.Printf("Schryer-style corpus: %d positive normalized doubles\n\n", len(corpus))
+
+	if *all || *table == 2 {
+		if err := runTable2(corpus); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *table == 3 {
+		if err := runTable3(corpus); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *stats {
+		if err := runStats(corpus); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *ablation {
+		runAblation(corpus)
+	}
+	if *all || *successors {
+		if err := runSuccessors(corpus); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runSuccessors(corpus []float64) error {
+	fmt.Println("== Follow-on work: three generations of shortest printing ==")
+	fmt.Println("(Burger-Dybvig 1996 exact; Grisu3 2010 certified + fallback; Ryu 2018)")
+	rows, err := harness.RunSuccessors(corpus)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderSuccessors(rows, len(corpus)))
+	fmt.Println()
+	return nil
+}
+
+func runTable2(corpus []float64) error {
+	fmt.Println("== Table 2: scaling algorithm relative CPU time ==")
+	fmt.Println("(paper, DEC AXP 8420: iterative 145.2x, float-log 1.2x, estimate 1.0x)")
+	rows, err := harness.RunTable2(corpus)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderTable2(rows))
+	fmt.Println()
+	return nil
+}
+
+func runTable3(corpus []float64) error {
+	fmt.Println("== Table 3: free vs fixed vs printf ==")
+	res, err := harness.RunTable3(corpus)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderTable3(res))
+	fmt.Println()
+	return nil
+}
+
+func runStats(corpus []float64) error {
+	fmt.Println("== §5 statistic: shortest-output digit counts ==")
+	res, err := harness.RunTable3(corpus[:min(len(corpus), 100000)])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mean shortest digits: %.2f (paper: 15.2 over its corpus)\n\n", res.MeanDigits)
+	return nil
+}
+
+func runAblation(corpus []float64) {
+	fmt.Println("== Ablation: scale-factor estimator accuracy ==")
+	fmt.Println("(paper: our 2-flop estimate is 'frequently k-1' but costs nothing;")
+	fmt.Println(" Gay's 5-flop Taylor estimate is more accurate but more expensive)")
+	stats := harness.RunEstimatorAblation(corpus)
+	fmt.Print(harness.RenderEstimatorStats(stats, len(corpus)))
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpbench:", err)
+	os.Exit(1)
+}

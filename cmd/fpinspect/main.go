@@ -1,0 +1,96 @@
+// Command fpinspect dissects a floating-point number the way the paper
+// reasons about one: bit fields, the (f, e) mantissa/exponent form, the
+// neighbors v⁻ and v⁺, the rounding range, and the shortest output under
+// each reader rounding assumption.
+//
+//	fpinspect 0.3
+//	fpinspect 1e23
+//	fpinspect -bits 0x3fd3333333333333
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"floatprint"
+	"floatprint/internal/fpformat"
+)
+
+func main() {
+	bits := flag.String("bits", "", "inspect a raw IEEE bit pattern (hex) instead of a parsed value")
+	flag.Parse()
+
+	if *bits != "" {
+		u, err := strconv.ParseUint(*bits, 0, 64)
+		if err != nil {
+			fatal(err)
+		}
+		inspect(math.Float64frombits(u))
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: fpinspect [-bits 0x...] number...")
+		os.Exit(2)
+	}
+	for _, arg := range flag.Args() {
+		v, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			fatal(err)
+		}
+		inspect(v)
+	}
+}
+
+func inspect(v float64) {
+	u := math.Float64bits(v)
+	fmt.Printf("value    %v\n", v)
+	fmt.Printf("bits     0x%016x  (sign=%d biased-exp=%d mantissa=0x%013x)\n",
+		u, u>>63, (u>>52)&0x7ff, u&(1<<52-1))
+
+	val := fpformat.DecodeFloat64(v)
+	fmt.Printf("class    %v\n", val.Class)
+	if !val.IsFinite() || val.Class == fpformat.Zero {
+		fmt.Println()
+		return
+	}
+	fmt.Printf("f × bᵉ   %s × 2^%d   (even mantissa: %v, binade boundary: %v)\n",
+		val.F, val.E, val.MantissaEven(), val.IsBoundary())
+
+	if prev, err := fpformat.Prev(val).Float64(); err == nil {
+		fmt.Printf("v⁻       %v  (gap below: %v)\n", prev, v-prev)
+	}
+	next := fpformat.Next(val)
+	if next.Class == fpformat.Inf {
+		fmt.Printf("v⁺       +Inf\n")
+	} else if nf, err := next.Float64(); err == nil {
+		fmt.Printf("v⁺       %v  (gap above: %v)\n", nf, nf-v)
+	}
+
+	modes := []struct {
+		name string
+		mode floatprint.ReaderRounding
+	}{
+		{"nearest-even reader", floatprint.ReaderNearestEven},
+		{"unknown reader     ", floatprint.ReaderUnknown},
+		{"ties-away reader   ", floatprint.ReaderNearestAway},
+		{"ties-to-zero reader", floatprint.ReaderNearestTowardZero},
+	}
+	for _, m := range modes {
+		s, err := floatprint.Format(v, &floatprint.Options{Reader: m.mode})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("shortest (%s)  %s\n", m.name, s)
+	}
+	fmt.Printf("17 digits          %s\n", floatprint.Fixed(v, 17))
+	fmt.Printf("25 digits          %s\n", floatprint.Fixed(v, 25))
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpinspect:", err)
+	os.Exit(1)
+}

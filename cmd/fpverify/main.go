@@ -1,0 +1,146 @@
+// Command fpverify checks this repository's conversion algorithms against
+// Go's strconv (itself correctly rounded) and against internal invariants:
+//
+//   - shortest output round-trips and is never longer than strconv's
+//   - our Parse agrees bit-for-bit with strconv.ParseFloat
+//   - print(mode)/parse(mode) round-trips for every reader mode and base
+//
+// It sweeps the Schryer corpus, random doubles, a stratified float32
+// sweep, and the denormal range.  Exit status 0 means no discrepancies.
+//
+//	fpverify -n 200000 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"floatprint"
+	"floatprint/internal/schryer"
+)
+
+var failures int
+
+func main() {
+	n := flag.Int("n", 100000, "number of random float64 trials")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(*seed))
+
+	fmt.Println("fpverify: shortest round-trip + minimality vs strconv")
+	count := 0
+	check := func(v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return
+		}
+		count++
+		s := floatprint.Shortest(v)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.Float64bits(back) != math.Float64bits(v) {
+			report("shortest round-trip", v, s, err)
+			return
+		}
+		want := strconv.FormatFloat(v, 'e', -1, 64)
+		if sig(s) > sig(want) {
+			report("minimality", v, fmt.Sprintf("%s vs %s", s, want), nil)
+		}
+		ours, err := floatprint.Parse(want, nil)
+		if err != nil || math.Float64bits(ours) != math.Float64bits(v) {
+			report("parse agreement", v, want, err)
+		}
+	}
+	for _, v := range schryer.CorpusN(50000) {
+		check(v)
+	}
+	for i := 0; i < *n; i++ {
+		check(math.Float64frombits(r.Uint64()))
+	}
+	for bits := uint64(1); bits < 1<<52; bits = bits*5 + 7 { // denormals
+		check(math.Float64frombits(bits))
+	}
+	fmt.Printf("  %d float64 values checked\n", count)
+
+	fmt.Println("fpverify: float32 stratified sweep vs strconv")
+	count32 := 0
+	for bits := uint32(0); bits < 1<<31; bits += 0x9241 {
+		v := math.Float32frombits(bits)
+		if v != v || math.IsInf(float64(v), 0) {
+			continue
+		}
+		count32++
+		s := floatprint.Shortest32(v)
+		back, err := strconv.ParseFloat(s, 32)
+		if err != nil || float32(back) != v {
+			report("float32 round-trip", float64(v), s, err)
+		}
+	}
+	fmt.Printf("  %d float32 values checked\n", count32)
+
+	fmt.Println("fpverify: mode/base matrix round-trips")
+	modes := []floatprint.ReaderRounding{
+		floatprint.ReaderNearestEven, floatprint.ReaderUnknown,
+		floatprint.ReaderNearestAway, floatprint.ReaderNearestTowardZero,
+	}
+	bases := []int{2, 3, 10, 16, 36}
+	matrix := 0
+	for i := 0; i < 2000; i++ {
+		v := math.Float64frombits(r.Uint64())
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		for _, base := range bases {
+			for _, mode := range modes {
+				o := &floatprint.Options{Base: base, Reader: mode}
+				s, err := floatprint.Format(v, o)
+				if err != nil {
+					report("format", v, s, err)
+					continue
+				}
+				back, err := floatprint.Parse(s, o)
+				if err != nil || math.Float64bits(back) != math.Float64bits(v) {
+					report(fmt.Sprintf("mode %v base %d", mode, base), v, s, err)
+				}
+				matrix++
+			}
+		}
+	}
+	fmt.Printf("  %d mode/base conversions checked\n", matrix)
+
+	if failures > 0 {
+		fmt.Printf("fpverify: %d FAILURES\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("fpverify: all checks passed")
+}
+
+// sig counts significant digits of a rendered number.
+func sig(s string) int {
+	if i := strings.IndexAny(s, "eE"); i >= 0 {
+		s = s[:i]
+	}
+	keep := strings.Map(func(r rune) rune {
+		if r >= '0' && r <= '9' {
+			return r
+		}
+		return -1
+	}, s)
+	keep = strings.Trim(keep, "0")
+	if keep == "" {
+		return 1
+	}
+	return len(keep)
+}
+
+func report(what string, v float64, detail string, err error) {
+	failures++
+	if failures <= 20 {
+		fmt.Fprintf(os.Stderr, "  FAIL %s: v=%x (%g) %s err=%v\n",
+			what, math.Float64bits(v), v, detail, err)
+	}
+}

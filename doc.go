@@ -1,0 +1,43 @@
+// Package floatprint prints and parses floating-point numbers using the
+// algorithms of Robert G. Burger and R. Kent Dybvig, "Printing
+// Floating-Point Numbers Quickly and Accurately" (PLDI 1996).
+//
+// # Free format
+//
+// Shortest and its variants produce the shortest digit string that reads
+// back to exactly the same floating-point value — 0.3 prints as "0.3", not
+// "0.2999999999999999888…" — under an explicitly chosen model of the
+// reader's rounding behavior.  With ReaderNearestEven (the IEEE default
+// used by strconv.ParseFloat and virtually every modern parser), 1e23
+// prints as "1e23" even though the stored value is 99999999999999991611392:
+// the printer knows the reader will land back on the same value.
+//
+//	floatprint.Shortest(0.3)          // "0.3"
+//	floatprint.Shortest(1e23)         // "1e23"
+//	floatprint.Shortest(math.Pi)      // "3.141592653589793"
+//
+// # Fixed format
+//
+// Fixed and FixedPosition produce correctly rounded output to a requested
+// number of digits or to an absolute digit position.  Digits beyond the
+// value's actual precision are not invented: they are rendered as '#'
+// marks, following the paper.  This matters for denormals and for large
+// requested precisions:
+//
+//	d, _ := floatprint.FixedDigits32(float32(1.0)/3, 10, nil)
+//	d.String()                             // "0.33333334##"
+//	floatprint.FixedPosition(100.0, -20)   // "100.000000000000000#####"
+//
+// # Output bases and reader rounding modes
+//
+// All conversions accept any output base from 2 to 36 and any of four
+// reader rounding assumptions (unknown/conservative, nearest-even,
+// nearest-away, nearest-toward-zero) via Options.  Parse implements the
+// matching correctly rounded reader, so print/parse round-trips hold for
+// every mode and base pair.
+//
+// The low-level digit results (digit values, scale factor K with
+// V = 0.d₁d₂…dₙ × Bᴷ, and significant-digit count) are available through
+// ShortestDigits, FixedDigits, and FixedPositionDigits for callers that do
+// their own rendering.
+package floatprint

@@ -1,0 +1,74 @@
+// Bases: the algorithm is generic over the output radix.
+//
+// The paper's algorithm converts from an input base b (2 for IEEE) to any
+// output base B; nothing in it is decimal-specific.  This example prints
+// values across the radix spectrum and closes the loop with the matching
+// correctly rounded reader in each base.
+//
+//	go run ./examples/bases
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"floatprint"
+)
+
+func main() {
+	fmt.Println("-- 1/3 in many bases (shortest form) --")
+	third := 1.0 / 3.0
+	for _, base := range []int{2, 3, 7, 10, 12, 16, 20, 36} {
+		s, err := floatprint.Format(third, &floatprint.Options{Base: base})
+		if err != nil {
+			panic(err)
+		}
+		note := ""
+		if base%3 == 0 {
+			note = "  <- base divisible by 3: short!"
+		}
+		fmt.Printf("base %2d: %-60s%s\n", base, s, note)
+	}
+
+	fmt.Println("\n-- 0.1 is exact in no binary-friendly base, exact in 10 and 20 --")
+	for _, base := range []int{2, 10, 16, 20} {
+		s, _ := floatprint.Format(0.1, &floatprint.Options{Base: base})
+		fmt.Printf("base %2d: %s\n", base, s)
+	}
+	fmt.Println("(these digit strings all denote the SAME double, the one")
+	fmt.Println(" nearest 1/10; shortness depends on the radix)")
+
+	fmt.Println("\n-- machine constants in hex --")
+	hexOpts := &floatprint.Options{Base: 16}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"pi", math.Pi}, {"e", math.E}, {"max float64", math.MaxFloat64},
+		{"min normal", 0x1p-1022},
+	} {
+		s, _ := floatprint.Format(c.v, hexOpts)
+		fmt.Printf("%-12s %s\n", c.name, s)
+	}
+
+	fmt.Println("\n-- round-trip in every base 2..36 --")
+	ok := 0
+	for base := 2; base <= 36; base++ {
+		opts := &floatprint.Options{Base: base}
+		good := true
+		for _, v := range []float64{math.Pi, 1e23, 5e-324, 0.1, math.MaxFloat64} {
+			s, err := floatprint.Format(v, opts)
+			if err != nil {
+				panic(err)
+			}
+			back, err := floatprint.Parse(s, opts)
+			if err != nil || back != v {
+				good = false
+			}
+		}
+		if good {
+			ok++
+		}
+	}
+	fmt.Printf("%d of 35 bases round-tripped five stress values exactly\n", ok)
+}

@@ -1,0 +1,52 @@
+// Denormals and '#' marks: printing at the edge of precision.
+//
+// Fixed-format printing is asked for a digit budget; denormalized numbers
+// may have only a handful of significant bits, so most of those digits are
+// unknowable.  The paper's '#' marks say so explicitly — "useful when
+// printing denormalized numbers, which may have only a few digits of
+// precision, or when printing to a large number of digits."
+//
+//	go run ./examples/denormals
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"floatprint"
+)
+
+func main() {
+	fmt.Println("-- denormal ladder, 12 requested digits each --")
+	v := math.SmallestNonzeroFloat64
+	for i := 0; i < 8; i++ {
+		fmt.Printf("%-28s %s\n", floatprint.Shortest(v), floatprint.Fixed(v, 12))
+		v *= 947 // climb through the denormal range
+	}
+
+	fmt.Println("\n-- float32 1/3: only 24 bits of precision --")
+	third := float32(1.0) / 3
+	for _, n := range []int{5, 8, 10, 14} {
+		d, err := floatprint.FixedDigits32(third, n, nil)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%2d digits: %-18s (%d significant)\n", n, d.String(), d.NSig)
+	}
+
+	fmt.Println("\n-- the paper's example: 100 printed to 20 decimal places --")
+	fmt.Println(floatprint.FixedPosition(100, -20))
+	fmt.Println("(15 significant zero decimals, then marks: a double pins 100")
+	fmt.Println(" down only to ±2⁻⁴⁷ ≈ ±7.1e-15)")
+
+	fmt.Println("\n-- marks disappear once the value has enough precision --")
+	for _, x := range []float64{100, 100.5, 100.0625} {
+		fmt.Printf("%-10g %s\n", x, floatprint.FixedPosition(x, -8))
+	}
+
+	fmt.Println("\n-- every marked output still reads back exactly --")
+	s := floatprint.Fixed(math.SmallestNonzeroFloat64, 10)
+	back, err := floatprint.Parse(s, nil)
+	fmt.Printf("Parse(%q) recovered smallest denormal: %v (err %v)\n",
+		s, back == math.SmallestNonzeroFloat64, err)
+}

@@ -1,0 +1,41 @@
+// Quickstart: the floatprint API in one minute.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"floatprint"
+)
+
+func main() {
+	// Free format: the shortest string that reads back to the same value.
+	fmt.Println("-- free format (shortest round-tripping output) --")
+	for _, v := range []float64{0.3, 1.0 / 3.0, math.Pi, 1e23, 5e-324} {
+		fmt.Printf("%-24g -> %s\n", v, floatprint.Shortest(v))
+	}
+
+	// Fixed format: correctly rounded to a digit budget, with '#' marks on
+	// digits the value cannot actually pin down.
+	fmt.Println("\n-- fixed format --")
+	fmt.Println("pi to 4 digits:          ", floatprint.Fixed(math.Pi, 4))
+	fmt.Println("100 to the 20th decimal: ", floatprint.FixedPosition(100, -20))
+	fmt.Println("1234.5678 to hundredths: ", floatprint.FixedPosition(1234.5678, -2))
+	fmt.Println("9.97 to two digits:      ", floatprint.Fixed(9.97, 2))
+
+	// Other bases.
+	fmt.Println("\n-- other output bases --")
+	hex, _ := floatprint.Format(255.5, &floatprint.Options{Base: 16})
+	bin, _ := floatprint.Format(0.625, &floatprint.Options{Base: 2})
+	fmt.Println("255.5 in hex:   ", hex)
+	fmt.Println("0.625 in binary:", bin)
+
+	// Parsing: the exact inverse, with selectable rounding.
+	fmt.Println("\n-- parsing --")
+	v, _ := floatprint.Parse("0.3", nil)
+	fmt.Println(`Parse("0.3") == 0.3:`, v == 0.3)
+	v, _ = floatprint.Parse("100.000000000000000#####", nil) // marks read as zeros
+	fmt.Println(`Parse("100.000000000000000#####") ==`, v)
+}

@@ -1,0 +1,96 @@
+// REPL printer: the paper's motivating application.
+//
+// Burger & Dybvig built their algorithm for Chez Scheme, whose REPL must
+// echo every computed value both *accurately* (reading the printed text
+// back yields the identical float) and *minimally* (no
+// 0.30000000000000004-style noise unless the value really differs from
+// 0.3).  This example is a tiny RPN calculator REPL that prints every
+// result with the free-format algorithm.
+//
+//	echo "1 3 / 0.1 0.2 + 2 sqrt" | go run ./examples/replprinter
+//
+// Enter numbers and operators (+ - * / sqrt) separated by spaces; each
+// remaining stack value is echoed shortest-form.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"floatprint"
+)
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := false
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		interactive = true
+	}
+	if interactive {
+		fmt.Println("rpn> enter numbers and + - * / sqrt; ctrl-d to exit")
+		fmt.Print("rpn> ")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			eval(line)
+		}
+		if interactive {
+			fmt.Print("rpn> ")
+		}
+	}
+}
+
+func eval(line string) {
+	var stack []float64
+	pop2 := func() (a, b float64, ok bool) {
+		if len(stack) < 2 {
+			fmt.Println("error: stack underflow")
+			return 0, 0, false
+		}
+		a, b = stack[len(stack)-2], stack[len(stack)-1]
+		stack = stack[:len(stack)-2]
+		return a, b, true
+	}
+	for _, tok := range strings.Fields(line) {
+		switch tok {
+		case "+", "-", "*", "/":
+			a, b, ok := pop2()
+			if !ok {
+				return
+			}
+			switch tok {
+			case "+":
+				stack = append(stack, a+b)
+			case "-":
+				stack = append(stack, a-b)
+			case "*":
+				stack = append(stack, a*b)
+			case "/":
+				stack = append(stack, a/b)
+			}
+		case "sqrt":
+			if len(stack) < 1 {
+				fmt.Println("error: stack underflow")
+				return
+			}
+			stack[len(stack)-1] = math.Sqrt(stack[len(stack)-1])
+		default:
+			// The REPL's reader is this package's own correctly rounded
+			// parser — the printer assumes nearest-even, and the reader
+			// delivers it, closing the paper's print/read contract.
+			v, err := floatprint.Parse(tok, nil)
+			if err != nil {
+				fmt.Printf("error: %q is not a number or operator\n", tok)
+				return
+			}
+			stack = append(stack, v)
+		}
+	}
+	for _, v := range stack {
+		fmt.Println(floatprint.Shortest(v))
+	}
+}

@@ -1,0 +1,86 @@
+// Serializer: why shortest output matters for data interchange.
+//
+// A number serializer must never lose information (readers must recover
+// the same float64) and wants the fewest bytes.  The historical options —
+// "%.17e" always round-trips but is verbose and full of garbage digits;
+// "%g" with fewer digits is short but lossy — are exactly the tension the
+// paper resolves: shortest *and* round-tripping.
+//
+// This example serializes a batch of measurements three ways, verifies
+// round-trips, and compares encoded sizes.
+//
+//	go run ./examples/serializer
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"floatprint"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(7))
+	batch := make([]float64, 1000)
+	for i := range batch {
+		switch i % 4 {
+		case 0: // sensor-style decimals
+			batch[i] = math.Round(r.Float64()*1e6) / 1e4
+		case 1: // wide dynamic range
+			batch[i] = r.Float64() * math.Pow(10, float64(r.Intn(60)-30))
+		case 2: // accumulated sums (messy binary fractions)
+			batch[i] = r.Float64() + r.Float64() + r.Float64()
+		default:
+			batch[i] = r.NormFloat64()
+		}
+	}
+
+	encoders := []struct {
+		name   string
+		encode func(float64) string
+	}{
+		{"%.17e (always safe)", func(v float64) string { return fmt.Sprintf("%.17e", v) }},
+		{"%.6g (short, lossy)", func(v float64) string { return fmt.Sprintf("%.6g", v) }},
+		{"floatprint.Shortest", floatprint.Shortest},
+	}
+
+	fmt.Printf("%-22s %12s %10s %8s\n", "encoder", "total bytes", "mean len", "lossy")
+	for _, enc := range encoders {
+		total, lossy := 0, 0
+		for _, v := range batch {
+			s := enc.encode(v)
+			total += len(s)
+			back, err := strconv.ParseFloat(s, 64)
+			if err != nil || back != v {
+				lossy++
+			}
+		}
+		fmt.Printf("%-22s %12d %10.1f %8d\n",
+			enc.name, total, float64(total)/float64(len(batch)), lossy)
+	}
+
+	fmt.Println("\nsample encodings of 0.1 + 0.2:")
+	// Computed through variables: constant folding would otherwise produce
+	// the double nearest 0.3 rather than the runtime sum.
+	tenth, fifth := 0.1, 0.2
+	v := tenth + fifth
+	fmt.Printf("  %%.17e              -> %.17e\n", v)
+	fmt.Printf("  %%.6g               -> %.6g\n", v)
+	fmt.Printf("  floatprint.Shortest-> %s\n", floatprint.Shortest(v))
+	fmt.Println("  (note: not \"0.3\" — 0.1+0.2 is a different float64 than 0.3,")
+	fmt.Println("   and shortest output faithfully preserves the distinction)")
+
+	// A JSON-ish record built with AppendShortest, allocation-friendly.
+	buf := []byte(`{"series":[`)
+	for i, v := range batch[:5] {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = floatprint.AppendShortest(buf, v)
+	}
+	buf = append(buf, "]}"...)
+	fmt.Println("\nrecord:", strings.TrimSpace(string(buf)))
+}

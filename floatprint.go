@@ -1,0 +1,302 @@
+package floatprint
+
+import (
+	"math"
+
+	"floatprint/internal/core"
+	"floatprint/internal/fastpath"
+	"floatprint/internal/fpformat"
+	"floatprint/internal/grisu"
+)
+
+// Class labels what a Digits value represents.
+type Class int
+
+const (
+	// Finite is an ordinary nonzero number.
+	Finite Class = iota
+	// IsZero is ±0.
+	IsZero
+	// IsInf is ±infinity.
+	IsInf
+	// IsNaN is not-a-number.
+	IsNaN
+)
+
+// Digits is a converted number: ±0.d₁d₂…dₙ × BaseᴷK when Class is Finite.
+// Digits[i] holds digit *values* (0..Base-1), not ASCII.  Digits[NSig:]
+// are insignificant: the paper's '#' marks, replaceable by any digits
+// without changing the value read back.  Free-format results always have
+// NSig == len(Digits).
+type Digits struct {
+	Class  Class
+	Neg    bool
+	Digits []byte
+	K      int
+	NSig   int
+	Base   int
+}
+
+// ShortestDigits converts v to the shortest digit string that reads back
+// to v under the options' reader rounding assumption (free format).
+func ShortestDigits(v float64, opts *Options) (Digits, error) {
+	return shortestValue(fpformat.DecodeFloat64(v), opts)
+}
+
+// ShortestDigits32 is ShortestDigits for float32 values; the shorter
+// mantissa yields shorter output (e.g. float32 0.1 prints as "0.1" with
+// far fewer digits than its float64 widening would need).
+func ShortestDigits32(v float32, opts *Options) (Digits, error) {
+	o, err := opts.norm()
+	if err != nil {
+		return Digits{}, err
+	}
+	if o.Base == 10 && o.Scaling == ScalingEstimate && !math.IsNaN(float64(v)) {
+		if digits, k, ok := grisu.Shortest32(float32(math.Abs(float64(v)))); ok {
+			return Digits{
+				Class: Finite, Neg: math.Signbit(float64(v)),
+				Digits: digits, K: k, NSig: len(digits), Base: 10,
+			}, nil
+		}
+	}
+	return shortestValue(fpformat.DecodeFloat32(v), opts)
+}
+
+func shortestValue(val fpformat.Value, opts *Options) (Digits, error) {
+	o, err := opts.norm()
+	if err != nil {
+		return Digits{}, err
+	}
+	if d, done := specialDigits(val, o.Base); done {
+		return d, nil
+	}
+	// Grisu3 fast path (the follow-on work to the paper; see
+	// internal/grisu): a certified result is provably identical to the
+	// exact algorithm's output under every reader mode, so it applies
+	// whenever the default scaling is in effect.  ~0.5% of values fail
+	// certification and take the exact path below.
+	if o.Base == 10 && val.Fmt == fpformat.Binary64 && o.Scaling == ScalingEstimate {
+		if v, verr := abs(val).Float64(); verr == nil {
+			if digits, k, ok := grisu.Shortest(v); ok {
+				return Digits{
+					Class: Finite, Neg: val.Neg,
+					Digits: digits, K: k, NSig: len(digits), Base: 10,
+				}, nil
+			}
+		}
+	}
+	res, err := core.FreeFormat(abs(val), o.Base, o.Scaling.core(), o.Reader.core())
+	if err != nil {
+		return Digits{}, err
+	}
+	return fromResult(res, val.Neg, o.Base), nil
+}
+
+// FixedDigits converts v to exactly n significant digit positions,
+// correctly rounded, with insignificant trailing positions counted out of
+// NSig (fixed format, relative position).
+func FixedDigits(v float64, n int, opts *Options) (Digits, error) {
+	return fixedValue(fpformat.DecodeFloat64(v), n, opts)
+}
+
+// FixedDigits32 is FixedDigits for float32 values.
+func FixedDigits32(v float32, n int, opts *Options) (Digits, error) {
+	return fixedValue(fpformat.DecodeFloat32(v), n, opts)
+}
+
+func fixedValue(val fpformat.Value, n int, opts *Options) (Digits, error) {
+	o, err := opts.norm()
+	if err != nil {
+		return Digits{}, err
+	}
+	if d, done := specialDigits(val, o.Base); done {
+		if d.Class == IsZero && n > 0 {
+			d.Digits = make([]byte, n)
+			d.K = 1
+			d.NSig = n
+		}
+		return d, nil
+	}
+	// Gay's fast-path heuristic (paper §5): when the digit count is small
+	// and extended-float arithmetic can *certify* its result, skip the
+	// exact algorithm.  The certificate guarantees identical output; the
+	// exact path below handles everything the fast path declines.
+	if o.Base == 10 && val.Fmt == fpformat.Binary64 {
+		v, verr := abs(val).Float64()
+		if verr == nil {
+			if digits, k, ok := fastpath.TryFixed(v, n); ok {
+				return Digits{
+					Class: Finite, Neg: val.Neg,
+					Digits: digits, K: k, NSig: n, Base: 10,
+				}, nil
+			}
+		}
+	}
+	res, err := core.FixedFormatRelative(abs(val), o.Base, o.Reader.core(), n)
+	if err != nil {
+		return Digits{}, err
+	}
+	return fromResult(res, val.Neg, o.Base), nil
+}
+
+// FixedPositionDigits converts v rounded at the absolute digit position
+// pos: the last digit has weight Base^pos, so pos = -2 stops at the
+// hundredths digit and pos = 3 at the thousands digit.
+func FixedPositionDigits(v float64, pos int, opts *Options) (Digits, error) {
+	val := fpformat.DecodeFloat64(v)
+	o, err := opts.norm()
+	if err != nil {
+		return Digits{}, err
+	}
+	if d, done := specialDigits(val, o.Base); done {
+		if d.Class == IsZero {
+			d.Digits = []byte{0}
+			d.K = pos + 1
+			d.NSig = 1
+		}
+		return d, nil
+	}
+	res, err := core.FixedFormat(abs(val), o.Base, o.Reader.core(), pos)
+	if err != nil {
+		return Digits{}, err
+	}
+	return fromResult(res, val.Neg, o.Base), nil
+}
+
+// abs strips the sign: the core algorithms operate on positive values.
+func abs(v fpformat.Value) fpformat.Value {
+	v.Neg = false
+	return v
+}
+
+func specialDigits(v fpformat.Value, base int) (Digits, bool) {
+	switch v.Class {
+	case fpformat.Zero:
+		return Digits{Class: IsZero, Neg: v.Neg, Base: base}, true
+	case fpformat.Inf:
+		return Digits{Class: IsInf, Neg: v.Neg, Base: base}, true
+	case fpformat.NaN:
+		return Digits{Class: IsNaN, Base: base}, true
+	}
+	return Digits{}, false
+}
+
+func fromResult(res core.Result, neg bool, base int) Digits {
+	class := Finite
+	if allZero(res.Digits) {
+		// A coarse fixed position can round a nonzero value to zero
+		// (FixedPosition(5, 2) is 0); classify so rendering says "0"
+		// rather than position-padded zeros.
+		class = IsZero
+	}
+	return Digits{
+		Class:  class,
+		Neg:    neg,
+		Digits: res.Digits,
+		K:      res.K,
+		NSig:   res.NSig,
+		Base:   base,
+	}
+}
+
+func allZero(digits []byte) bool {
+	for _, d := range digits {
+		if d != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Shortest returns the shortest base-10 string that strconv.ParseFloat
+// (or any IEEE nearest-even reader) parses back to exactly v.
+func Shortest(v float64) string {
+	d, err := ShortestDigits(v, nil)
+	if err != nil {
+		panic("floatprint: " + err.Error()) // unreachable with default options
+	}
+	return d.String()
+}
+
+// Shortest32 is Shortest for float32.
+func Shortest32(v float32) string {
+	d, err := ShortestDigits32(v, nil)
+	if err != nil {
+		panic("floatprint: " + err.Error())
+	}
+	return d.String()
+}
+
+// AppendShortest appends the Shortest rendering of v to dst.
+func AppendShortest(dst []byte, v float64) []byte {
+	return append(dst, Shortest(v)...)
+}
+
+// Fixed returns v correctly rounded to n significant digits in base 10,
+// with '#' marks past the point of significance.
+func Fixed(v float64, n int) string {
+	d, err := FixedDigits(v, n, nil)
+	if err != nil {
+		panic("floatprint: " + err.Error())
+	}
+	return d.String()
+}
+
+// FixedPosition returns v correctly rounded at absolute digit position pos
+// in base 10 (pos = -2 rounds at hundredths), with '#' marks past the
+// point of significance.
+func FixedPosition(v float64, pos int) string {
+	d, err := FixedPositionDigits(v, pos, nil)
+	if err != nil {
+		panic("floatprint: " + err.Error())
+	}
+	return d.String()
+}
+
+// Format renders v under the given options (free format).
+func Format(v float64, opts *Options) (string, error) {
+	d, err := ShortestDigits(v, opts)
+	if err != nil {
+		return "", err
+	}
+	return d.render(opts), nil
+}
+
+// FormatFixed renders v to n significant digits under the given options.
+func FormatFixed(v float64, n int, opts *Options) (string, error) {
+	d, err := FixedDigits(v, n, opts)
+	if err != nil {
+		return "", err
+	}
+	return d.render(opts), nil
+}
+
+// FormatFixedPosition renders v rounded at absolute position pos under the
+// given options.
+func FormatFixedPosition(v float64, pos int, opts *Options) (string, error) {
+	d, err := FixedPositionDigits(v, pos, opts)
+	if err != nil {
+		return "", err
+	}
+	return d.render(opts), nil
+}
+
+// Value reconstructs the float64 nearest to the digits (a convenience for
+// verifying round-trips; equivalent to Parse of the rendering).
+func (d Digits) Value() (float64, error) {
+	switch d.Class {
+	case IsZero:
+		if d.Neg {
+			return math.Copysign(0, -1), nil
+		}
+		return 0, nil
+	case IsInf:
+		if d.Neg {
+			return math.Inf(-1), nil
+		}
+		return math.Inf(1), nil
+	case IsNaN:
+		return math.NaN(), nil
+	}
+	return parseDigits(d)
+}

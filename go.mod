@@ -1,0 +1,3 @@
+module floatprint
+
+go 1.22

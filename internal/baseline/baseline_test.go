@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"floatprint/internal/core"
+	"floatprint/internal/fpformat"
+	"floatprint/internal/schryer"
+)
+
+func digitsString(digits []byte) string {
+	var sb strings.Builder
+	for _, d := range digits {
+		sb.WriteByte("0123456789abcdefghijklmnopqrstuvwxyz"[d])
+	}
+	return sb.String()
+}
+
+func TestSteeleWhiteMatchesEstimateScaling(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		val := fpformat.DecodeFloat64(v)
+		sw, err := SteeleWhite(val, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := core.FreeFormat(val, 10, core.ScalingEstimate, core.ReaderUnknown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digitsString(sw.Digits) != digitsString(fast.Digits) || sw.K != fast.K {
+			t.Fatalf("SteeleWhite(%g) differs from fast scaling", v)
+		}
+	}
+}
+
+func TestFixedDigitsAgainstStrconvE(t *testing.T) {
+	// strconv 'e' with prec digits after the point = prec+1 significant
+	// digits, correctly rounded with the same ties-to-even rule.
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		n := 1 + r.Intn(20)
+		res, err := FixedDigits(fpformat.DecodeFloat64(v), 10, n)
+		if err != nil {
+			t.Fatalf("FixedDigits(%g, %d): %v", v, n, err)
+		}
+		s := strconv.FormatFloat(v, 'e', n-1, 64)
+		mant, expStr, _ := strings.Cut(s, "e")
+		exp, _ := strconv.Atoi(expStr)
+		want := strings.Replace(mant, ".", "", 1)
+		if digitsString(res.Digits) != want || res.K != exp+1 {
+			t.Fatalf("FixedDigits(%g, %d) = %q K=%d, strconv %%e says %q K=%d",
+				v, n, digitsString(res.Digits), res.K, want, exp+1)
+		}
+	}
+}
+
+func TestFixedDigits17DistinguishesDoubles(t *testing.T) {
+	// 17 significant digits are guaranteed to round-trip.
+	for _, v := range schryer.CorpusN(4000) {
+		res, err := FixedDigits(fpformat.DecodeFloat64(v), 10, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := "0." + digitsString(res.Digits) + "e" + strconv.Itoa(res.K)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil || back != v {
+			t.Fatalf("17-digit %q reads back %v (%v), want %v", s, back, err, v)
+		}
+	}
+}
+
+func TestFixedDigitsCarry(t *testing.T) {
+	res, err := FixedDigits(fpformat.DecodeFloat64(9.9999), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(res.Digits) != "100" || res.K != 2 {
+		t.Errorf("9.9999@3 = %q K=%d, want \"100\" K=2", digitsString(res.Digits), res.K)
+	}
+}
+
+func TestFixedDigitsTieToEven(t *testing.T) {
+	// 0.5 exactly, one digit at the units position means scientific 5e-1;
+	// two significant digits of 0.125 (exact) are "12" (ties to even), and
+	// of 0.375 are "38".
+	res, err := FixedDigits(fpformat.DecodeFloat64(0.125), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(res.Digits) != "12" || res.K != 0 {
+		t.Errorf("0.125@2 = %q K=%d, want \"12\" K=0", digitsString(res.Digits), res.K)
+	}
+	res, err = FixedDigits(fpformat.DecodeFloat64(0.375), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(res.Digits) != "38" || res.K != 0 {
+		t.Errorf("0.375@2 = %q K=%d, want \"38\" K=0", digitsString(res.Digits), res.K)
+	}
+}
+
+func TestFixedDigitsOtherBases(t *testing.T) {
+	res, err := FixedDigits(fpformat.DecodeFloat64(255), 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(res.Digits) != "ff00" || res.K != 2 {
+		t.Errorf("255 base16@4 = %q K=%d, want \"ff00\" K=2", digitsString(res.Digits), res.K)
+	}
+	res, err = FixedDigits(fpformat.DecodeFloat64(1.0/3.0), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(res.Digits) != "10101011" || res.K != -1 {
+		t.Errorf("1/3 base2@8 = %q K=%d, want \"10101011\" K=-1", digitsString(res.Digits), res.K)
+	}
+}
+
+func TestFixedDigitsErrors(t *testing.T) {
+	good := fpformat.DecodeFloat64(1.5)
+	if _, err := FixedDigits(good, 1, 5); err == nil {
+		t.Errorf("base 1 accepted")
+	}
+	if _, err := FixedDigits(good, 10, 0); err == nil {
+		t.Errorf("zero digits accepted")
+	}
+	if _, err := FixedDigits(fpformat.DecodeFloat64(-2), 10, 5); err == nil {
+		t.Errorf("negative value accepted")
+	}
+	if _, err := FixedDigits(fpformat.DecodeFloat64(math.Inf(1)), 10, 5); err == nil {
+		t.Errorf("Inf accepted")
+	}
+}
+
+func TestFixedDigitsDenormal(t *testing.T) {
+	res, err := FixedDigits(fpformat.DecodeFloat64(5e-324), 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4.9406564584124654e-324: five digits are 49407.
+	if digitsString(res.Digits) != "49407" || res.K != -323 {
+		t.Errorf("smallest denormal@5 = %q K=%d", digitsString(res.Digits), res.K)
+	}
+}
+
+func TestNaivePrintfUsuallyCorrectSometimesNot(t *testing.T) {
+	// The naive printer must agree with exact rounding on most inputs and
+	// disagree on a nonzero fraction — that is its purpose.  Run over a
+	// corpus slice and require 0 < incorrect < 5%.
+	corpus := schryer.CorpusN(20000)
+	incorrect := 0
+	for _, v := range corpus {
+		nd, nk := NaivePrintf(v, 17)
+		res, err := FixedDigits(fpformat.DecodeFloat64(v), 10, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digitsString(nd) != digitsString(res.Digits) || nk != res.K {
+			incorrect++
+		}
+	}
+	if incorrect == 0 {
+		t.Errorf("naive printf was always correct; it must exhibit rounding errors")
+	}
+	if incorrect > len(corpus)/20 {
+		t.Errorf("naive printf incorrect on %d/%d (>5%%): too broken to be a plausible printf",
+			incorrect, len(corpus))
+	}
+	t.Logf("naive printf incorrect on %d of %d corpus values", incorrect, len(corpus))
+}
+
+func TestNaivePrintfEasyValues(t *testing.T) {
+	for _, c := range []struct {
+		v    float64
+		n    int
+		want string
+		k    int
+	}{
+		{1, 3, "100", 1},
+		{123.456, 6, "123456", 3},
+		{0.25, 2, "25", 0},
+	} {
+		d, k := NaivePrintf(c.v, c.n)
+		if digitsString(d) != c.want || k != c.k {
+			t.Errorf("NaivePrintf(%g, %d) = %q K=%d, want %q K=%d",
+				c.v, c.n, digitsString(d), k, c.want, c.k)
+		}
+	}
+	if d, _ := NaivePrintf(-1, 5); d != nil {
+		t.Errorf("NaivePrintf(-1) should return nil")
+	}
+	if d, _ := NaivePrintf(1, 0); d != nil {
+		t.Errorf("NaivePrintf(n=0) should return nil")
+	}
+}

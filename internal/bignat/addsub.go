@@ -1,0 +1,89 @@
+package bignat
+
+import "math/bits"
+
+// Add returns x + y.
+func Add(x, y Nat) Nat {
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	z := make(Nat, len(x)+1)
+	var carry Word
+	i := 0
+	for ; i < len(y); i++ {
+		z[i], carry = addWW(x[i], y[i], carry)
+	}
+	for ; i < len(x); i++ {
+		z[i], carry = addWW(x[i], 0, carry)
+	}
+	z[len(x)] = carry
+	return norm(z)
+}
+
+// AddWord returns x + w.
+func AddWord(x Nat, w Word) Nat {
+	if w == 0 {
+		return x.Clone()
+	}
+	z := make(Nat, len(x)+1)
+	carry := w
+	for i, xi := range x {
+		z[i], carry = addWW(xi, carry, 0)
+	}
+	z[len(x)] = carry
+	return norm(z)
+}
+
+// Sub returns x - y.  It panics if x < y, since Nats are non-negative;
+// callers in the printing algorithms always know the ordering.
+func Sub(x, y Nat) Nat {
+	if len(x) < len(y) {
+		panic("bignat: Sub underflow")
+	}
+	z := make(Nat, len(x))
+	var borrow Word
+	i := 0
+	for ; i < len(y); i++ {
+		z[i], borrow = subWW(x[i], y[i], borrow)
+	}
+	for ; i < len(x); i++ {
+		z[i], borrow = subWW(x[i], 0, borrow)
+	}
+	if borrow != 0 {
+		panic("bignat: Sub underflow")
+	}
+	return norm(z)
+}
+
+// SubWord returns x - w, panicking on underflow.
+func SubWord(x Nat, w Word) Nat {
+	if w == 0 {
+		return x.Clone()
+	}
+	if len(x) == 0 {
+		panic("bignat: SubWord underflow")
+	}
+	z := make(Nat, len(x))
+	borrow := w
+	for i, xi := range x {
+		z[i], borrow = subWW(xi, borrow, 0)
+	}
+	if borrow != 0 {
+		panic("bignat: SubWord underflow")
+	}
+	return norm(z)
+}
+
+// addWW computes x + y + carry, returning the sum word and carry-out.
+// carry must be 0 or 1.
+func addWW(x, y, carry Word) (sum, carryOut Word) {
+	s, c := bits.Add(uint(x), uint(y), uint(carry))
+	return Word(s), Word(c)
+}
+
+// subWW computes x - y - borrow, returning the difference word and
+// borrow-out.  borrow must be 0 or 1.
+func subWW(x, y, borrow Word) (diff, borrowOut Word) {
+	d, b := bits.Sub(uint(x), uint(y), uint(borrow))
+	return Word(d), Word(b)
+}

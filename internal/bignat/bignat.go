@@ -1,0 +1,153 @@
+// Package bignat implements arbitrary-precision natural-number arithmetic.
+//
+// It is the "high-precision integer arithmetic" substrate that Section 3 of
+// Burger & Dybvig (PLDI 1996) converts the floating-point printing algorithm
+// to use, replacing exact rational arithmetic.  The package is deliberately
+// self-contained (it does not use math/big except in its tests, where
+// math/big serves as an oracle) and provides exactly the operation mix the
+// printing and reading algorithms need: addition, subtraction, comparison,
+// shifts, multiplication (schoolbook and Karatsuba), division with remainder
+// (Knuth's Algorithm D), exponentiation, and radix conversion.
+//
+// Values are immutable from the caller's perspective: every operation
+// returns a fresh Nat and never modifies its operands.  A Nat is a
+// little-endian slice of Words with no high zero limbs; the canonical zero
+// is the nil (or empty) slice.
+package bignat
+
+import "math/bits"
+
+// A Word is a single limb of a Nat.  It is the platform's native unsigned
+// word so that math/bits carry/borrow intrinsics apply directly.
+type Word = uint
+
+// wordBits is the size of a Word in bits.
+const wordBits = bits.UintSize
+
+// A Nat is an arbitrary-precision natural number stored as little-endian
+// limbs: the value is sum over i of n[i] << (i*wordBits).  The slice never
+// has trailing (most-significant) zero limbs; zero is len(n) == 0.
+type Nat []Word
+
+// norm removes high zero limbs, restoring the canonical representation.
+func norm(n Nat) Nat {
+	i := len(n)
+	for i > 0 && n[i-1] == 0 {
+		i--
+	}
+	return n[:i]
+}
+
+// FromUint64 returns the Nat representing x.
+func FromUint64(x uint64) Nat {
+	if x == 0 {
+		return nil
+	}
+	if wordBits == 64 || x <= 1<<32-1 {
+		return Nat{Word(x)}
+	}
+	// 32-bit platform with a value that needs two limbs.
+	return norm(Nat{Word(x), Word(x >> 32)})
+}
+
+// Uint64 returns the value of n and whether it fits in a uint64.
+func (n Nat) Uint64() (uint64, bool) {
+	switch len(n) {
+	case 0:
+		return 0, true
+	case 1:
+		return uint64(n[0]), true
+	case 2:
+		if wordBits == 32 {
+			return uint64(n[1])<<32 | uint64(n[0]), true
+		}
+	}
+	return 0, false
+}
+
+// IsZero reports whether n == 0.
+func (n Nat) IsZero() bool { return len(n) == 0 }
+
+// IsOne reports whether n == 1.
+func (n Nat) IsOne() bool { return len(n) == 1 && n[0] == 1 }
+
+// Clone returns a copy of n that shares no storage with it.
+func (n Nat) Clone() Nat {
+	if len(n) == 0 {
+		return nil
+	}
+	c := make(Nat, len(n))
+	copy(c, n)
+	return c
+}
+
+// BitLen returns the length of n in bits: the smallest k such that
+// n < 2^k.  BitLen(0) == 0.
+func (n Nat) BitLen() int {
+	if len(n) == 0 {
+		return 0
+	}
+	return (len(n)-1)*wordBits + bits.Len(n[len(n)-1])
+}
+
+// Bit returns bit i of n (0 or 1).  Bits beyond BitLen are zero.
+func (n Nat) Bit(i int) uint {
+	if i < 0 {
+		panic("bignat: negative bit index")
+	}
+	limb, off := i/wordBits, i%wordBits
+	if limb >= len(n) {
+		return 0
+	}
+	return uint(n[limb]>>off) & 1
+}
+
+// TrailingZeroBits returns the number of consecutive zero bits at the low
+// end of n.  TrailingZeroBits(0) == 0 by convention.
+func (n Nat) TrailingZeroBits() int {
+	for i, w := range n {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros(w)
+		}
+	}
+	return 0
+}
+
+// Cmp compares x and y, returning -1 if x < y, 0 if x == y, +1 if x > y.
+func Cmp(x, y Nat) int {
+	switch {
+	case len(x) < len(y):
+		return -1
+	case len(x) > len(y):
+		return 1
+	}
+	for i := len(x) - 1; i >= 0; i-- {
+		switch {
+		case x[i] < y[i]:
+			return -1
+		case x[i] > y[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// CmpWord compares x with the single word w.
+func CmpWord(x Nat, w Word) int {
+	switch {
+	case len(x) > 1:
+		return 1
+	case len(x) == 0:
+		if w == 0 {
+			return 0
+		}
+		return -1
+	}
+	switch {
+	case x[0] < w:
+		return -1
+	case x[0] > w:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,56 @@
+package bignat
+
+// Pow returns x**n computed by binary exponentiation.
+// Pow(0, 0) == 1, matching the usual convention for integer powers.
+func Pow(x Nat, n uint) Nat {
+	result := Nat{1}
+	base := x.Clone()
+	for n > 0 {
+		if n&1 == 1 {
+			result = Mul(result, base)
+		}
+		n >>= 1
+		if n > 0 {
+			base = Mul(base, base)
+		}
+	}
+	return result
+}
+
+// PowUint returns b**n for a single-word base.
+func PowUint(b uint64, n uint) Nat {
+	return Pow(FromUint64(b), n)
+}
+
+// PowCache memoizes successive powers of a fixed base, mirroring the
+// expt-t lookup table from Figure 2 of the paper ("a table to look up the
+// value of 10^k for 0 <= k <= 325").  Unlike the paper's fixed-size vector
+// it grows on demand and works for any base, so it also serves bases 2-36
+// and the wider synthetic formats.  The zero value is not usable; call
+// NewPowCache.
+type PowCache struct {
+	base   Nat
+	powers []Nat // powers[i] == base**i
+}
+
+// NewPowCache returns a cache of powers of base.
+func NewPowCache(base uint64) *PowCache {
+	return &PowCache{
+		base:   FromUint64(base),
+		powers: []Nat{{1}},
+	}
+}
+
+// Pow returns base**n, computing and caching any powers not yet known.
+// The returned Nat is shared with the cache and must not be modified;
+// all bignat operations treat operands as read-only, so normal use is safe.
+func (c *PowCache) Pow(n uint) Nat {
+	for uint(len(c.powers)) <= n {
+		last := c.powers[len(c.powers)-1]
+		c.powers = append(c.powers, Mul(last, c.base))
+	}
+	return c.powers[n]
+}
+
+// Base returns the cache's base as a Nat (shared, read-only).
+func (c *PowCache) Base() Nat { return c.base }

@@ -1,0 +1,41 @@
+package bignat
+
+// Shl returns x << s.
+func Shl(x Nat, s uint) Nat {
+	if len(x) == 0 || s == 0 {
+		return x.Clone()
+	}
+	limbs, off := int(s/wordBits), s%wordBits
+	z := make(Nat, len(x)+limbs+1)
+	if off == 0 {
+		copy(z[limbs:], x)
+	} else {
+		var carry Word
+		for i, xi := range x {
+			z[limbs+i] = xi<<off | carry
+			carry = xi >> (wordBits - off)
+		}
+		z[limbs+len(x)] = carry
+	}
+	return norm(z)
+}
+
+// Shr returns x >> s.
+func Shr(x Nat, s uint) Nat {
+	limbs, off := int(s/wordBits), s%wordBits
+	if limbs >= len(x) {
+		return nil
+	}
+	z := make(Nat, len(x)-limbs)
+	if off == 0 {
+		copy(z, x[limbs:])
+	} else {
+		for i := 0; i < len(z); i++ {
+			z[i] = x[limbs+i] >> off
+			if limbs+i+1 < len(x) {
+				z[i] |= x[limbs+i+1] << (wordBits - off)
+			}
+		}
+	}
+	return norm(z)
+}

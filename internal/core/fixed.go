@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"floatprint/internal/bignat"
+	"floatprint/internal/fpformat"
+)
+
+// FixedFormat converts the positive finite value v to a correctly rounded
+// digit string in the given base whose last digit has weight Bʲ (an
+// *absolute* digit position in the paper's terms: j = 0 stops at the units
+// digit, j = −2 at the hundredths digit).  Digits beyond the value's
+// precision are reported as insignificant via Result.NSig and rendered as
+// '#' marks (Section 4 of the paper).  The result always satisfies
+// len(Digits) == K − j.
+//
+// The reader mode plays the same endpoint-admissibility role as in free
+// format; ReaderUnknown reproduces the paper exactly.
+func FixedFormat(v fpformat.Value, base int, mode ReaderMode, j int) (Result, error) {
+	if err := checkArgs(v, base); err != nil {
+		return Result{}, err
+	}
+	lowOK, highOK := mode.boundaryOK(v)
+	st := newState(v, base, lowOK, highOK)
+
+	// Compute the output half-ulp Bʲ/2 as a numerator over the common
+	// denominator s.  For negative j every quantity is pre-scaled by B⁻ʲ
+	// so the half-ulp stays an integer (s always carries a factor of 2).
+	var mOut bignat.Nat
+	if j >= 0 {
+		mOut = bignat.Mul(bignat.Shr(st.s, 1), st.pows.pow(uint(j)))
+	} else {
+		mOut = bignat.Shr(st.s, 1)
+		factor := st.pows.pow(uint(-j))
+		st.r = bignat.Mul(st.r, factor)
+		st.s = bignat.Mul(st.s, factor)
+		st.mp = bignat.Mul(st.mp, factor)
+		st.mm = bignat.Mul(st.mm, factor)
+	}
+
+	// Widen the rounding range to the union of the value's own range and
+	// the requested precision ("let low be the lesser of (v+v⁻)/2 and
+	// v − Bʲ/2, and let high be the greater of (v+v⁺)/2 and v + Bʲ/2").
+	// An endpoint contributed by the output precision is itself a valid
+	// correctly rounded output, so the corresponding termination condition
+	// becomes inclusive.
+	if bignat.Cmp(mOut, st.mp) >= 0 {
+		st.mp = mOut.Clone() // cloned: m⁺ and m⁻ are mutated independently
+		st.highOK = true
+	}
+	if bignat.Cmp(mOut, st.mm) >= 0 {
+		st.mm = mOut.Clone()
+		st.lowOK = true
+	}
+
+	// Scale.  The expanded high endpoint can dwarf v (tiny value printed
+	// to a coarse position), which the value-based estimate cannot see, so
+	// the estimate is floored at j−1; the fixup loop does the rest.
+	floorK := j - 1
+	k := st.scaleEstimate(v, &floorK)
+
+	if k <= j {
+		return fixedAllRounded(st, j, k)
+	}
+
+	maxDigits := k - j
+	digits := make([]byte, 0, maxDigits)
+	var up bool
+	term := termination{}
+	for {
+		d := st.nextDigit()
+		digits = append(digits, d)
+		term = st.conditions()
+		if term.tc1 || term.tc2 {
+			up = st.roundUp(term)
+			break
+		}
+		if len(digits) == maxDigits {
+			// Unreachable: with m± at least Bʲ/2 a termination condition
+			// must hold by position k−j (see DESIGN.md); guard anyway.
+			return Result{}, fmt.Errorf("core: fixed-format loop overran position %d (internal bug)", j)
+		}
+		st.stepMul()
+	}
+	if up {
+		// A rippling carry can grow the digit string by one and raise K,
+		// which also moves the final position: len stays == K − j.
+		digits, k = incrementLast(digits, base, k)
+		maxDigits = k - j
+	}
+
+	// Fill the remaining positions: zeros while the digit position is
+	// still significant, then insignificance marks.  Position t > n is
+	// insignificant when incrementing the digit at position t−1 — adding
+	// B^(k−(t−1)) to the output value P — yields a number that still reads
+	// back within the rounding range: P + B^(k−(t−1)) <= high, which in
+	// the scaled integers is (r + m⁺ − up·s)·B^(t−1−n) >= s.  (Inclusive
+	// comparison: the bound is the unattained supremum of the possible
+	// tails, so equality keeps every tail strictly inside.)
+	nsig := len(digits)
+	if len(digits) < maxDigits {
+		acc := bignat.Add(st.r, st.mp)
+		if up {
+			acc = bignat.Sub(acc, st.s)
+		}
+		marking := false
+		for m := len(digits); m < maxDigits; m++ {
+			if !marking && bignat.Cmp(acc, st.s) >= 0 {
+				marking = true
+				nsig = m
+			}
+			digits = append(digits, 0)
+			if !marking {
+				acc = bignat.MulWordInPlace(acc, bignat.Word(st.base))
+			}
+		}
+		if !marking {
+			nsig = len(digits)
+		}
+	}
+	return Result{Digits: digits, K: k, NSig: nsig}, nil
+}
+
+// fixedAllRounded handles k == j, where the requested position is at or
+// above the leading digit of high and the output is a single digit at
+// position j: 0 when v < Bʲ/2, 1 (i.e. the value Bʲ) when v > Bʲ/2, ties
+// rounding up.  After scaling, v·B^(1−k) = r/s, so the comparison
+// v ≷ Bʲ/2 = Bᵏ/2 becomes 2r ≷ B·s.
+func fixedAllRounded(st *state, j, k int) (Result, error) {
+	if k < j {
+		return Result{}, fmt.Errorf("core: scale k=%d below requested position j=%d (internal bug)", k, j)
+	}
+	c := bignat.Cmp(bignat.Shl(st.r, 1), bignat.MulWord(st.s, bignat.Word(st.base)))
+	d := byte(0)
+	if c >= 0 {
+		d = 1
+	}
+	return Result{Digits: []byte{d}, K: j + 1, NSig: 1}, nil
+}
+
+// FixedFormatRelative converts v to exactly n significant digit positions
+// (a *relative* digit position: the count of digits to print).  The
+// absolute position j = K − n depends on K, which itself can depend on j
+// when rounding at the requested precision carries into a new leading
+// digit (9.97 printed to two digits is "10"); the paper resolves the cycle
+// by estimating K from v alone and refining once, which the loop below
+// performs (it converges in at most two passes).
+func FixedFormatRelative(v fpformat.Value, base int, mode ReaderMode, n int) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("core: digit count %d must be positive", n)
+	}
+	if err := checkArgs(v, base); err != nil {
+		return Result{}, err
+	}
+	j := estimateK(v, base) - n
+	for iter := 0; iter < 4; iter++ {
+		res, err := FixedFormat(v, base, mode, j)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(res.Digits) == n {
+			return res, nil
+		}
+		j = res.K - n
+	}
+	return Result{}, fmt.Errorf("core: relative position failed to converge for n=%d (internal bug)", n)
+}

@@ -1,0 +1,621 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"floatprint/internal/fpformat"
+	"floatprint/internal/reader"
+)
+
+func mustFixed(t *testing.T, v float64, j int) Result {
+	t.Helper()
+	res, err := FixedFormat(fpformat.DecodeFloat64(v), 10, ReaderUnknown, j)
+	if err != nil {
+		t.Fatalf("FixedFormat(%g, j=%d): %v", v, j, err)
+	}
+	return res
+}
+
+// checkFixedInvariants verifies the structural contract of every fixed
+// result: len == K − j, digit values in range, NSig sane, and all
+// insignificant digits zero.
+func checkFixedInvariants(t *testing.T, res Result, base, j int) {
+	t.Helper()
+	if len(res.Digits) != res.K-j {
+		t.Fatalf("len(Digits)=%d != K-j = %d-%d", len(res.Digits), res.K, j)
+	}
+	if res.NSig < 1 || res.NSig > len(res.Digits) {
+		t.Fatalf("NSig %d out of range [1,%d]", res.NSig, len(res.Digits))
+	}
+	for i, d := range res.Digits {
+		if int(d) >= base {
+			t.Fatalf("digit %d at index %d out of range for base %d", d, i, base)
+		}
+	}
+	for _, d := range res.Digits[res.NSig:] {
+		if d != 0 {
+			t.Fatalf("insignificant digit %d nonzero", d)
+		}
+	}
+}
+
+func TestFixedFormatPaper100Example(t *testing.T) {
+	// "Suppose 100 were printed to absolute position 0 ... the remaining
+	// digit positions are significant and must therefore be zero, not #."
+	res := mustFixed(t, 100, 0)
+	checkFixedInvariants(t, res, 10, 0)
+	if digitsString(res.Digits) != "100" || res.K != 3 || res.NSig != 3 {
+		t.Errorf("100@j=0: %q K=%d NSig=%d, want \"100\" K=3 NSig=3",
+			digitsString(res.Digits), res.K, res.NSig)
+	}
+
+	// "when printing 100 in IEEE double-precision to digit position 20,
+	// the algorithm prints 100.00000000000000#####" — 3 integer digits, 14
+	// significant zero decimals (the last decimal whose increment escapes
+	// v + 2⁻⁴⁷), then marks.
+	res = mustFixed(t, 100, -20)
+	checkFixedInvariants(t, res, 10, -20)
+	if res.K != 3 || len(res.Digits) != 23 {
+		t.Fatalf("100@j=-20: K=%d len=%d", res.K, len(res.Digits))
+	}
+	if got := digitsString(res.Digits[:3]); got != "100" {
+		t.Errorf("100@j=-20 leading digits %q", got)
+	}
+	for _, d := range res.Digits[3:] {
+		if d != 0 {
+			t.Errorf("100@j=-20 has nonzero fraction digit")
+		}
+	}
+	// The half-gap above 100 is 2⁻⁴⁷ ≈ 7.105e-15.  Decimal position d is
+	// insignificant when 10^(1-d) <= 2⁻⁴⁷, i.e. from d = 16 onward, so the
+	// paper prints 15 significant zero decimals and 5 marks:
+	// 100.000000000000000#####.
+	if res.NSig != 18 {
+		t.Errorf("100@j=-20 NSig = %d, want 18 (3 integer digits + 15 zeros)", res.NSig)
+	}
+	sigDecimals := res.NSig - 3
+	if res.NSig >= len(res.Digits) {
+		t.Fatalf("expected # marks for 100@j=-20, NSig=%d", res.NSig)
+	}
+	// Any completion of the insignificant tail reads back as 100.
+	tail := strings.Repeat("9", len(res.Digits)-res.NSig)
+	s := "100." + strings.Repeat("0", sigDecimals) + tail
+	if back, err := strconv.ParseFloat(s, 64); err != nil || back != 100 {
+		t.Errorf("completion %q reads back as %v (%v), want 100", s, back, err)
+	}
+}
+
+func TestFixedFormatThirdFloat32(t *testing.T) {
+	// The abstract's example: single-precision ⅓ printed to 10 digits has
+	// only its leading digits significant; the rest are # marks.
+	third := fpformat.DecodeFloat32(float32(1.0) / 3)
+	res, err := FixedFormatRelative(third, 10, ReaderUnknown, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixedInvariants(t, res, 10, res.K-10)
+	if len(res.Digits) != 10 || res.K != 0 {
+		t.Fatalf("third@10 digits: len=%d K=%d", len(res.Digits), res.K)
+	}
+	if res.NSig >= 10 {
+		t.Fatalf("expected insignificant digits, NSig=%d", res.NSig)
+	}
+	// The significant prefix must read back (with any tail) to the value.
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var sb strings.Builder
+		sb.WriteString("0.")
+		sb.Write([]byte(digitsString(res.Digits[:res.NSig])))
+		for i := res.NSig; i < 10; i++ {
+			sb.WriteByte(byte('0' + r.Intn(10)))
+		}
+		back, err := strconv.ParseFloat(sb.String(), 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float32(back) != float32(1.0)/3 {
+			t.Fatalf("completion %q reads back as %g", sb.String(), back)
+		}
+	}
+}
+
+func TestFixedFormatDenormalMarks(t *testing.T) {
+	// Denormals have very little precision: most requested digits are #.
+	res, err := FixedFormatRelative(fpformat.DecodeFloat64(5e-324), 10, ReaderUnknown, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixedInvariants(t, res, 10, res.K-10)
+	if res.NSig != 1 {
+		t.Errorf("smallest denormal NSig = %d, want 1", res.NSig)
+	}
+	if res.Digits[0] != 5 || res.K != -323 {
+		t.Errorf("smallest denormal leading digit %d K=%d, want 5 K=-323", res.Digits[0], res.K)
+	}
+}
+
+// fixedOracle computes the correctly rounded digits of v at position j with
+// math/big, returning the digit string (no leading zeros beyond position
+// handling), the tie flag, and whether the round was upward on a tie.
+func fixedOracle(v float64, j int) (digits string, k int, tie bool) {
+	r := new(big.Rat).SetFloat64(v)
+	pow := new(big.Rat).SetFrac(big.NewInt(1), big.NewInt(1))
+	ten := big.NewRat(10, 1)
+	if j >= 0 {
+		for i := 0; i < j; i++ {
+			pow.Mul(pow, ten)
+		}
+	} else {
+		for i := 0; i < -j; i++ {
+			pow.Quo(pow, ten)
+		}
+	}
+	scaled := new(big.Rat).Quo(r, pow) // v / 10^j
+	floor := new(big.Int).Quo(scaled.Num(), scaled.Denom())
+	frac := new(big.Rat).Sub(scaled, new(big.Rat).SetInt(floor))
+	half := big.NewRat(1, 2)
+	switch frac.Cmp(half) {
+	case 1:
+		floor.Add(floor, big.NewInt(1))
+	case 0:
+		tie = true
+		floor.Add(floor, big.NewInt(1)) // match the paper's tie-up rule
+	}
+	digits = floor.String()
+	k = len(digits) + j
+	if floor.Sign() == 0 {
+		digits = "0"
+		k = j + 1
+	}
+	return digits, k, tie
+}
+
+// outputGrainDominates reports whether the requested half-ulp 10ʲ/2 is at
+// least as large as both of v's half-gaps.  In that regime the paper's
+// expanded rounding range *is* the output precision, so the algorithm
+// performs exact decimal rounding; when the float gap is wider, the paper
+// deliberately accepts any output inside the float's own rounding range
+// ("the algorithm uses the larger range"), which need not equal the exact
+// decimal rounding.
+func halfUlpComparisons(v float64, j int) (outGEHigh, outGELow, ok bool) {
+	val := fpformat.DecodeFloat64(v)
+	exact := new(big.Rat).SetFloat64(v)
+	nextF, err := fpformat.Next(val).Float64()
+	if err != nil || math.IsInf(nextF, 0) {
+		return false, false, false
+	}
+	prevF, err := fpformat.Prev(val).Float64()
+	if err != nil {
+		return false, false, false
+	}
+	halfHigh := new(big.Rat).Sub(new(big.Rat).SetFloat64(nextF), exact)
+	halfHigh.Mul(halfHigh, big.NewRat(1, 2))
+	halfLow := new(big.Rat).Sub(exact, new(big.Rat).SetFloat64(prevF))
+	halfLow.Mul(halfLow, big.NewRat(1, 2))
+	halfOut := big.NewRat(1, 2)
+	ten := big.NewRat(10, 1)
+	for i := 0; i < j; i++ {
+		halfOut.Mul(halfOut, ten)
+	}
+	for i := 0; i < -j; i++ {
+		halfOut.Quo(halfOut, ten)
+	}
+	return halfOut.Cmp(halfHigh) >= 0, halfOut.Cmp(halfLow) >= 0, true
+}
+
+func outputGrainDominates(v float64, j int) bool {
+	geHigh, geLow, ok := halfUlpComparisons(v, j)
+	return ok && geHigh && geLow
+}
+
+// floatGrainDominates reports that the value's own rounding range strictly
+// contains the output precision on both sides, the regime in which every
+// fixed output's significant prefix must read back to v exactly.
+func floatGrainDominates(v float64, j int) bool {
+	geHigh, geLow, ok := halfUlpComparisons(v, j)
+	return ok && !geHigh && !geLow
+}
+
+func TestFixedFormatAgainstBigRatOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	compared := 0
+	for trial := 0; trial < 12000 || compared < 200; trial++ {
+		// Values in a range where positions -25..5 are interesting.
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 || v > 1e12 || v < 1e-12 {
+			continue
+		}
+		j := r.Intn(18) - 15
+		res := mustFixed(t, v, j)
+		checkFixedInvariants(t, res, 10, j)
+		if !outputGrainDominates(v, j) {
+			continue // paper semantics: only reads-back correctness is promised
+		}
+		compared++
+		wantDigits, wantK, tie := fixedOracle(v, j)
+		raw := digitsString(res.Digits)
+		got := strings.TrimLeft(raw, "0")
+		gotK := res.K - (len(raw) - len(got)) // leading zeros shift K
+		if got == "" {
+			got, gotK = "0", j+1
+		}
+		if got != wantDigits || gotK != wantK {
+			if tie {
+				continue // both roundings acceptable on an exact tie
+			}
+			t.Fatalf("FixedFormat(%g, j=%d) = %q K=%d (raw %q K=%d), oracle %q K=%d",
+				v, j, got, gotK, digitsString(res.Digits), res.K, wantDigits, wantK)
+		}
+	}
+	if compared < 200 {
+		t.Fatalf("too few exact-rounding cases compared: %d", compared)
+	}
+}
+
+func TestFixedFormatAgainstStrconvF(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 || v > 1e15 || v < 1e-6 {
+			continue
+		}
+		prec := r.Intn(12)
+		j := -prec
+		res := mustFixed(t, v, j)
+		if !outputGrainDominates(v, j) {
+			continue // paper semantics diverge from plain decimal rounding
+		}
+		if _, _, tie := fixedOracle(v, j); tie {
+			continue // tie-breaking rules differ (paper: up, Go: even)
+		}
+		want := strconv.FormatFloat(v, 'f', prec, 64)
+		got := renderFixedDecimal(res, j)
+		if got != want {
+			t.Fatalf("FixedFormat(%v, j=%d) rendered %q, strconv %%f says %q", v, j, got, want)
+		}
+	}
+}
+
+// TestFixedFormatWideGapCharacterization pins the paper's "larger range"
+// semantics on a concrete value: with the float gap wider than the output
+// ulp, the algorithm may stop early and zero-fill, emitting a string that
+// reads back exactly but differs from plain decimal rounding in its final
+// significant digit.  Every emitted output must still read back to v.
+func TestFixedFormatWideGapCharacterization(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 1500; trial++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 || v > 1e15 || v < 1e-15 {
+			continue
+		}
+		j := r.Intn(18) - 15
+		if !floatGrainDominates(v, j) {
+			continue
+		}
+		res := mustFixed(t, v, j)
+		s := "0." + digitsString(res.Digits[:res.NSig]) + "e" + strconv.Itoa(res.K)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("ParseFloat(%q): %v", s, err)
+		}
+		if back != v {
+			t.Fatalf("FixedFormat(%g, j=%d) significant prefix %q reads back %g", v, j, s, back)
+		}
+	}
+}
+
+// renderFixedDecimal renders a fixed result as a plain decimal string with
+// prec = -j fractional digits, for comparison with strconv.
+func renderFixedDecimal(res Result, j int) string {
+	var sb strings.Builder
+	d := res.Digits
+	k := res.K
+	if k <= 0 {
+		sb.WriteString("0")
+	} else {
+		for i := 0; i < k; i++ {
+			if i < len(d) {
+				sb.WriteByte('0' + d[i])
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+	}
+	if j >= 0 {
+		return sb.String()
+	}
+	sb.WriteByte('.')
+	for pos := 0; pos < -j; pos++ {
+		idx := k + pos
+		if idx < 0 || idx >= len(d) {
+			sb.WriteByte('0')
+		} else {
+			sb.WriteByte('0' + d[idx])
+		}
+	}
+	return sb.String()
+}
+
+func TestFixedFormatCoarsePositions(t *testing.T) {
+	cases := []struct {
+		v      float64
+		j      int
+		digits string
+		k      int
+	}{
+		{5, 2, "0", 3},   // 5 rounded to hundreds: 0
+		{50, 2, "1", 3},  // exactly half: ties up to 100
+		{80, 2, "1", 3},  // closer to 100
+		{449, 2, "4", 3}, // 449 to hundreds: 400
+		{500, 2, "5", 3},
+		{949, 3, "1", 4},  // 949 to thousands: 1000
+		{0.04, 0, "0", 1}, // rounds to 0 at the units position
+		{0.6, 0, "1", 1},  // rounds to 1
+	}
+	for _, c := range cases {
+		res := mustFixed(t, c.v, c.j)
+		checkFixedInvariants(t, res, 10, c.j)
+		if digitsString(res.Digits) != c.digits || res.K != c.k {
+			t.Errorf("FixedFormat(%g, j=%d) = %q K=%d, want %q K=%d",
+				c.v, c.j, digitsString(res.Digits), res.K, c.digits, c.k)
+		}
+	}
+}
+
+func TestFixedFormatRelativeCarry(t *testing.T) {
+	// Rounding 9.97 to two digits carries into a new leading digit; the
+	// relative driver must still deliver exactly two digits ("10" × 10⁰).
+	res, err := FixedFormatRelative(fpformat.DecodeFloat64(9.97), 10, ReaderUnknown, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(res.Digits) != "10" || res.K != 2 {
+		t.Errorf("9.97@2 = %q K=%d, want \"10\" K=2", digitsString(res.Digits), res.K)
+	}
+	res, err = FixedFormatRelative(fpformat.DecodeFloat64(9.97), 10, ReaderUnknown, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(res.Digits) != "1" || res.K != 2 {
+		t.Errorf("9.97@1 = %q K=%d, want \"1\" K=2", digitsString(res.Digits), res.K)
+	}
+	// 9.9999999999 to various counts.
+	for n := 1; n <= 8; n++ {
+		res, err := FixedFormatRelative(fpformat.DecodeFloat64(9.9999999999), 10, ReaderUnknown, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Digits) != n {
+			t.Errorf("9.9999999999@%d returned %d digits", n, len(res.Digits))
+		}
+		want := "1" + strings.Repeat("0", n-1)
+		if digitsString(res.Digits) != want || res.K != 2 {
+			t.Errorf("9.9999999999@%d = %q K=%d, want %q K=2", n, digitsString(res.Digits), res.K, want)
+		}
+	}
+}
+
+func TestFixedFormatRelativeCountAlwaysExact(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		n := 1 + r.Intn(25)
+		res, err := FixedFormatRelative(fpformat.DecodeFloat64(v), 10, ReaderUnknown, n)
+		if err != nil {
+			t.Fatalf("relative(%g, %d): %v", v, n, err)
+		}
+		if len(res.Digits) != n {
+			t.Fatalf("relative(%g, %d) returned %d digits", v, n, len(res.Digits))
+		}
+		checkFixedInvariants(t, res, 10, res.K-n)
+	}
+}
+
+func TestFixedFormatRelative17RoundTrips(t *testing.T) {
+	// 17 significant digits always distinguish doubles, so the rendered
+	// string must parse back exactly (when fully significant).
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2000; trial++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		res, err := FixedFormatRelative(fpformat.DecodeFloat64(v), 10, ReaderUnknown, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := "0." + digitsString(res.Digits[:res.NSig]) + "e" + strconv.Itoa(res.K)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			continue // subnormal edges can overflow the exponent syntax
+		}
+		if back != v {
+			t.Fatalf("17-digit output %q (NSig=%d) reads back %g, want %g", s, res.NSig, back, v)
+		}
+	}
+}
+
+func TestFixedFormatInsignificantTailCompletions(t *testing.T) {
+	// For results with marks, ANY completion of the tail must read back to
+	// the original value — the definition of insignificance.
+	r := rand.New(rand.NewSource(6))
+	tested := 0
+	for trial := 0; trial < 4000 && tested < 400; trial++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 || v > 1e30 || v < 1e-30 {
+			continue
+		}
+		n := 19 + r.Intn(10)
+		res, err := FixedFormatRelative(fpformat.DecodeFloat64(v), 10, ReaderUnknown, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NSig == len(res.Digits) {
+			continue
+		}
+		tested++
+		for _, tail := range []string{
+			strings.Repeat("0", n-res.NSig),
+			strings.Repeat("9", n-res.NSig),
+			randomDigits(r, n-res.NSig),
+		} {
+			s := "0." + digitsString(res.Digits[:res.NSig]) + tail + "e" + strconv.Itoa(res.K)
+			back, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				t.Fatalf("ParseFloat(%q): %v", s, err)
+			}
+			if back != v {
+				t.Fatalf("insignificant completion %q of %g reads back %g (NSig=%d)",
+					s, v, back, res.NSig)
+			}
+		}
+	}
+	if tested < 50 {
+		t.Fatalf("too few mark-bearing cases exercised: %d", tested)
+	}
+}
+
+func randomDigits(r *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('0' + r.Intn(10))
+	}
+	return string(b)
+}
+
+func TestFixedFormatModesWidenRange(t *testing.T) {
+	// With a nearest-even reader and an even mantissa, the fixed algorithm
+	// may stop at an endpoint; the completions property must still hold.
+	v := 1e23 // even mantissa, endpoint exactly 10^23
+	res, err := FixedFormatRelative(fpformat.DecodeFloat64(v), 10, ReaderNearestEven, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixedInvariants(t, res, 10, res.K-25)
+	s := "0." + digitsString(res.Digits[:res.NSig]) + "e" + strconv.Itoa(res.K)
+	back, err := strconv.ParseFloat(s, 64)
+	if err != nil || back != v {
+		t.Errorf("1e23 fixed output %q reads back %g (%v)", s, back, err)
+	}
+}
+
+func TestFixedFormatErrors(t *testing.T) {
+	good := fpformat.DecodeFloat64(1.5)
+	if _, err := FixedFormat(good, 1, ReaderUnknown, 0); err == nil {
+		t.Errorf("base 1 accepted")
+	}
+	if _, err := FixedFormatRelative(good, 10, ReaderUnknown, 0); err == nil {
+		t.Errorf("zero digit count accepted")
+	}
+	if _, err := FixedFormatRelative(good, 10, ReaderUnknown, -3); err == nil {
+		t.Errorf("negative digit count accepted")
+	}
+	if _, err := FixedFormat(fpformat.DecodeFloat64(0), 10, ReaderUnknown, 0); err == nil {
+		t.Errorf("zero accepted")
+	}
+	if _, err := FixedFormatRelative(fpformat.DecodeFloat64(math.NaN()), 10, ReaderUnknown, 3); err == nil {
+		t.Errorf("NaN accepted")
+	}
+}
+
+func TestFixedFormatOtherBases(t *testing.T) {
+	// 0.5 in base 2 at position -3 is exactly 0.100; all significant.
+	res, err := FixedFormat(fpformat.DecodeFloat64(0.5), 2, ReaderUnknown, -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixedInvariants(t, res, 2, -3)
+	if digitsString(res.Digits) != "100" || res.K != 0 || res.NSig != 3 {
+		t.Errorf("0.5 base 2 j=-3: %q K=%d NSig=%d", digitsString(res.Digits), res.K, res.NSig)
+	}
+	// 255 in base 16 at position 0: "ff".
+	res, err = FixedFormat(fpformat.DecodeFloat64(255), 16, ReaderUnknown, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(res.Digits) != "ff" || res.K != 2 {
+		t.Errorf("255 base 16: %q K=%d", digitsString(res.Digits), res.K)
+	}
+	// Base 36, relative.
+	res, err = FixedFormatRelative(fpformat.DecodeFloat64(1295.0), 36, ReaderUnknown, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(res.Digits) != "zz" || res.K != 2 {
+		t.Errorf("1295 base 36: %q K=%d, want \"zz\" K=2", digitsString(res.Digits), res.K)
+	}
+}
+
+func TestFixedVersusFreeConsistency(t *testing.T) {
+	// Fixing the position at the free-format length must reproduce the
+	// free-format digits (same value, same rounding target).
+	for _, v := range interestingFloats(500, 7) {
+		val := fpformat.DecodeFloat64(v)
+		free, err := FreeFormat(val, 10, ScalingEstimate, ReaderUnknown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed, err := FixedFormat(val, 10, ReaderUnknown, free.K-len(free.Digits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digitsString(fixed.Digits) != digitsString(free.Digits) || fixed.K != free.K {
+			t.Fatalf("fixed@freelen(%g) = %q K=%d, free = %q K=%d",
+				v, digitsString(fixed.Digits), fixed.K, digitsString(free.Digits), free.K)
+		}
+	}
+}
+
+// TestFixedBaseModeMatrixReadBack: fixed-format output in every base and
+// reader mode, at a digit count that always pins a double in that base,
+// must read back exactly through the matching correctly rounded reader
+// (marks read as zeros).
+func TestFixedBaseModeMatrixReadBack(t *testing.T) {
+	modePairs := []struct {
+		pm ReaderMode
+		rm reader.RoundMode
+	}{
+		{ReaderUnknown, reader.NearestEven},
+		{ReaderNearestEven, reader.NearestEven},
+		{ReaderNearestAway, reader.NearestAway},
+		{ReaderNearestTowardZero, reader.NearestTowardZero},
+	}
+	bases := []int{2, 3, 10, 16, 36}
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 250; i++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		val := fpformat.DecodeFloat64(v)
+		for _, base := range bases {
+			// Enough digits to pin any double in this base.
+			n := int(54.0/math.Log2(float64(base))) + 2
+			for _, mp := range modePairs {
+				res, err := FixedFormatRelative(val, base, mp.pm, n)
+				if err != nil {
+					t.Fatalf("fixed(%g, base %d, %v): %v", v, base, mp.pm, err)
+				}
+				back, err := reader.Convert(reader.Number{
+					Base: base, Digits: res.Digits[:res.NSig], K: res.K,
+				}, fpformat.Binary64, mp.rm)
+				if err != nil {
+					t.Fatalf("convert back: %v", err)
+				}
+				f, err := back.Float64()
+				if err != nil || f != v {
+					t.Fatalf("fixed(%g, base %d, %v) = %v K=%d NSig=%d reads back %v",
+						v, base, mp.pm, res.Digits, res.K, res.NSig, f)
+				}
+			}
+		}
+	}
+}

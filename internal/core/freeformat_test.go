@@ -1,0 +1,449 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"floatprint/internal/bignat"
+	"floatprint/internal/fpformat"
+)
+
+// fpformatNat builds a mantissa for synthetic-format tests.
+func fpformatNat(x uint64) bignat.Nat { return bignat.FromUint64(x) }
+
+// digitsString renders raw digit values as text for comparison.
+func digitsString(digits []byte) string {
+	var sb strings.Builder
+	for _, d := range digits {
+		sb.WriteByte("0123456789abcdefghijklmnopqrstuvwxyz"[d])
+	}
+	return sb.String()
+}
+
+// strconvShortest returns Go's shortest digits and K (V = 0.ddd × 10ᴷ) for
+// a positive float64, via strconv's scientific format.
+func strconvShortest(t *testing.T, v float64) (string, int) {
+	t.Helper()
+	s := strconv.FormatFloat(v, 'e', -1, 64)
+	mant, expStr, ok := strings.Cut(s, "e")
+	if !ok {
+		t.Fatalf("unexpected strconv output %q", s)
+	}
+	exp, err := strconv.Atoi(expStr)
+	if err != nil {
+		t.Fatalf("bad exponent in %q: %v", s, err)
+	}
+	digits := strings.Replace(mant, ".", "", 1)
+	digits = strings.TrimRight(digits, "0")
+	if digits == "" {
+		digits = "0"
+	}
+	return digits, exp + 1
+}
+
+// interestingFloats is a corpus of structurally varied positive doubles.
+func interestingFloats(n int, seed int64) []float64 {
+	vs := []float64{
+		1, 2, 3, 10, 100, 0.5, 0.1, 0.3, 1.0 / 3.0, 2.0 / 3.0,
+		math.Pi, math.E, math.Sqrt2,
+		1e23, 9.109383632e-31, 6.02214076e23, 5e-324,
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		0x1p-1022,                    // smallest normal
+		math.Nextafter(0x1p-1022, 0), // largest denormal
+		math.Nextafter(1, 2),         // 1 + ulp
+		math.Nextafter(1, 0),         // 1 - ulp/2 (boundary case)
+		math.Nextafter(2, 1),         // boundary from above
+		123456789012345680000, 1e300, 1e-300, 7.038531e-26,
+		8.98846567431158e307, 2.2250738585072014e-308,
+		// Values that famously stress float printing/parsing.
+		2.2250738585072011e-308, 0.69314718055994531,
+	}
+	r := rand.New(rand.NewSource(seed))
+	for len(vs) < n {
+		x := math.Float64frombits(r.Uint64())
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+			continue
+		}
+		vs = append(vs, math.Abs(x))
+	}
+	return vs
+}
+
+// acceptableTie reports whether got differs from strconv's choice only by
+// an exact-tie rounding decision: same digit count, and the rendered string
+// still parses back to v.  The paper breaks ties upward (Figure 1) while
+// Go's Ryu breaks them to even; both outputs are correct shortest forms.
+func acceptableTie(gotDigits string, gotK int, wantDigits string, v float64, bitSize int) bool {
+	if len(gotDigits) != len(wantDigits) {
+		return false
+	}
+	s := "0." + gotDigits + "e" + strconv.Itoa(gotK)
+	back, err := strconv.ParseFloat(s, bitSize)
+	return err == nil && back == v
+}
+
+func TestFreeFormatAgainstStrconv(t *testing.T) {
+	for _, method := range []Scaling{ScalingEstimate, ScalingIterative, ScalingFloatLog} {
+		for _, v := range interestingFloats(4000, 10) {
+			res, err := FreeFormat(fpformat.DecodeFloat64(v), 10, method, ReaderNearestEven)
+			if err != nil {
+				t.Fatalf("%s: FreeFormat(%g): %v", method, v, err)
+			}
+			wantDigits, wantK := strconvShortest(t, v)
+			gotDigits := digitsString(res.Digits)
+			if (gotDigits != wantDigits || res.K != wantK) &&
+				!acceptableTie(gotDigits, res.K, wantDigits, v, 64) {
+				t.Fatalf("%s: FreeFormat(%g) = %q K=%d, strconv says %q K=%d",
+					method, v, gotDigits, res.K, wantDigits, wantK)
+			}
+			if res.NSig != len(res.Digits) {
+				t.Fatalf("free format NSig %d != len %d", res.NSig, len(res.Digits))
+			}
+		}
+	}
+}
+
+func TestFreeFormatExhaustiveFloat32Sample(t *testing.T) {
+	// A deterministic stratified sweep across the whole float32 range:
+	// every exponent appears, with varying mantissa patterns.
+	for bits := uint32(0); bits < 1<<31; bits += 0x000937 {
+		v := math.Float32frombits(bits)
+		if v != v || math.IsInf(float64(v), 0) || v == 0 {
+			continue
+		}
+		res, err := FreeFormat(fpformat.DecodeFloat32(v), 10, ScalingEstimate, ReaderNearestEven)
+		if err != nil {
+			t.Fatalf("FreeFormat(%g): %v", v, err)
+		}
+		s := strconv.FormatFloat(float64(v), 'e', -1, 32)
+		mant, expStr, _ := strings.Cut(s, "e")
+		exp, _ := strconv.Atoi(expStr)
+		wantDigits := strings.TrimRight(strings.Replace(mant, ".", "", 1), "0")
+		if wantDigits == "" {
+			wantDigits = "0"
+		}
+		got := digitsString(res.Digits)
+		if (got != wantDigits || res.K != exp+1) &&
+			!acceptableTie(got, res.K, wantDigits, float64(v), 32) {
+			t.Fatalf("float32 %b: got %q K=%d, want %q K=%d", bits, got, res.K, wantDigits, exp+1)
+		}
+	}
+}
+
+func TestFreeFormatMatchesBasicAlgorithm(t *testing.T) {
+	modes := []ReaderMode{ReaderUnknown, ReaderNearestEven, ReaderNearestAway, ReaderNearestTowardZero}
+	bases := []int{2, 3, 10, 16, 36}
+	vs := interestingFloats(120, 11)
+	for _, v := range vs {
+		val := fpformat.DecodeFloat64(v)
+		for _, base := range bases {
+			for _, mode := range modes {
+				want, err := BasicFreeFormat(val, base, mode)
+				if err != nil {
+					t.Fatalf("BasicFreeFormat(%g, %d, %v): %v", v, base, mode, err)
+				}
+				for _, method := range []Scaling{ScalingEstimate, ScalingIterative, ScalingFloatLog} {
+					got, err := FreeFormat(val, base, method, mode)
+					if err != nil {
+						t.Fatalf("FreeFormat(%g, %d, %v, %v): %v", v, base, method, mode, err)
+					}
+					if digitsString(got.Digits) != digitsString(want.Digits) || got.K != want.K {
+						t.Fatalf("FreeFormat(%g, base %d, %v, %v) = %q K=%d; basic algorithm says %q K=%d",
+							v, base, method, mode, digitsString(got.Digits), got.K,
+							digitsString(want.Digits), want.K)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFreeFormatBinary32MatchesBasic(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 150; i++ {
+		v := math.Float32frombits(r.Uint32())
+		if v != v || math.IsInf(float64(v), 0) || v == 0 {
+			continue
+		}
+		val := fpformat.DecodeFloat32(float32(math.Abs(float64(v))))
+		for _, base := range []int{10, 7} {
+			want, err := BasicFreeFormat(val, base, ReaderNearestEven)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := FreeFormat(val, base, ScalingEstimate, ReaderNearestEven)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if digitsString(got.Digits) != digitsString(want.Digits) || got.K != want.K {
+				t.Fatalf("binary32 %g base %d mismatch", v, base)
+			}
+		}
+	}
+}
+
+func TestFreeFormatRoundTrips(t *testing.T) {
+	// Output read back with Go's correctly rounding parser must recover the
+	// value exactly — the paper's information-preservation theorem — for
+	// every reader mode whose assumptions ParseFloat (nearest-even) meets.
+	// ReaderUnknown is valid for any reader; ReaderNearestEven matches
+	// ParseFloat exactly.  (Away/TowardZero modes assume a different
+	// reader, so they are excluded here and covered by the basic-algorithm
+	// equivalence test.)
+	for _, mode := range []ReaderMode{ReaderUnknown, ReaderNearestEven} {
+		for _, v := range interestingFloats(3000, 13) {
+			res, err := FreeFormat(fpformat.DecodeFloat64(v), 10, ScalingEstimate, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := "0." + digitsString(res.Digits) + "e" + strconv.Itoa(res.K)
+			back, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				t.Fatalf("ParseFloat(%q): %v", s, err)
+			}
+			if back != v {
+				t.Fatalf("mode %v: %q parsed back to %g, want %g", mode, s, back, v)
+			}
+		}
+	}
+}
+
+func TestFreeFormatShortestProperty(t *testing.T) {
+	// No (n-1)-digit number can round-trip (Theorem 5): truncating the
+	// output and rounding it either way must yield a different float.
+	for _, v := range interestingFloats(1500, 14) {
+		res, err := FreeFormat(fpformat.DecodeFloat64(v), 10, ScalingEstimate, ReaderNearestEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(res.Digits)
+		if n == 1 {
+			continue
+		}
+		trunc := digitsString(res.Digits[:n-1])
+		down := "0." + trunc + "e" + strconv.Itoa(res.K)
+		upDigits, upK := incrementLast(append([]byte(nil), res.Digits[:n-1]...), 10, res.K)
+		up := "0." + digitsString(upDigits) + "e" + strconv.Itoa(upK)
+		for _, s := range []string{down, up} {
+			back, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				// Rounding the prefix of MaxFloat64 upward overflows,
+				// which certainly does not round-trip.
+				continue
+			}
+			if back == v {
+				t.Fatalf("shorter string %q also round-trips to %g; output %q was not minimal",
+					s, v, digitsString(res.Digits))
+			}
+		}
+	}
+}
+
+func TestFreeFormatReaderModes1e23(t *testing.T) {
+	// The paper's flagship example: 10²³ falls exactly on the midpoint
+	// above the double 99999999999999991611392, whose mantissa is even, so
+	// a round-to-even reader maps "1e23" to it.
+	v := fpformat.DecodeFloat64(1e23)
+
+	even, err := FreeFormat(v, 10, ScalingEstimate, ReaderNearestEven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(even.Digits) != "1" || even.K != 24 {
+		t.Errorf("nearest-even 1e23 = %q K=%d, want \"1\" K=24", digitsString(even.Digits), even.K)
+	}
+
+	// Ties-toward-zero also accepts the high endpoint.
+	tz, err := FreeFormat(v, 10, ScalingEstimate, ReaderNearestTowardZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digitsString(tz.Digits) != "1" || tz.K != 24 {
+		t.Errorf("toward-zero 1e23 = %q K=%d, want \"1\" K=24", digitsString(tz.Digits), tz.K)
+	}
+
+	// A ties-away reader would push 10²³ up to the *next* double, so the
+	// printer must not emit "1e23"; same for an unknown reader.
+	for _, mode := range []ReaderMode{ReaderNearestAway, ReaderUnknown} {
+		res, err := FreeFormat(v, 10, ScalingEstimate, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digitsString(res.Digits) == "1" {
+			t.Errorf("mode %v printed 1e23 despite inadmissible endpoint", mode)
+		}
+		s := "0." + digitsString(res.Digits) + "e" + strconv.Itoa(res.K)
+		back, _ := strconv.ParseFloat(s, 64)
+		if back != 1e23 {
+			t.Errorf("mode %v output %q does not round-trip", mode, s)
+		}
+	}
+}
+
+func TestFreeFormatUnknownNeverShorterThanEven(t *testing.T) {
+	// The conservative mode can only require more digits.
+	for _, v := range interestingFloats(800, 15) {
+		val := fpformat.DecodeFloat64(v)
+		e, err := FreeFormat(val, 10, ScalingEstimate, ReaderNearestEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := FreeFormat(val, 10, ScalingEstimate, ReaderUnknown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(u.Digits) < len(e.Digits) {
+			t.Fatalf("unknown mode shorter than nearest-even for %g: %d < %d",
+				v, len(u.Digits), len(e.Digits))
+		}
+	}
+}
+
+func TestFreeFormatKnownValues(t *testing.T) {
+	cases := []struct {
+		v      float64
+		base   int
+		digits string
+		k      int
+	}{
+		{0.3, 10, "3", 0}, // the paper's 0.3-not-0.2999999 example
+		{1.0, 10, "1", 1},
+		{100.0, 10, "1", 3},
+		{0.5, 10, "5", 0},
+		{0.1, 10, "1", 0},
+		{5e-324, 10, "5", -323}, // smallest denormal
+		{0.5, 2, "1", 0},
+		{0.75, 2, "11", 0},
+		{10.0, 16, "a", 1},
+		{255.0, 16, "ff", 2},
+		{1.0 / 3.0, 10, "3333333333333333", 0},
+	}
+	for _, c := range cases {
+		res, err := FreeFormat(fpformat.DecodeFloat64(c.v), c.base, ScalingEstimate, ReaderNearestEven)
+		if err != nil {
+			t.Fatalf("FreeFormat(%g, %d): %v", c.v, c.base, err)
+		}
+		if got := digitsString(res.Digits); got != c.digits || res.K != c.k {
+			t.Errorf("FreeFormat(%g, base %d) = %q K=%d, want %q K=%d",
+				c.v, c.base, got, res.K, c.digits, res.K)
+		}
+	}
+}
+
+func TestFreeFormatPowersOfTwoBase2(t *testing.T) {
+	// In base 2 every float prints with its own mantissa digits; powers of
+	// two are a single 1.
+	for e := -50; e <= 50; e++ {
+		v := math.Ldexp(1, e)
+		res, err := FreeFormat(fpformat.DecodeFloat64(v), 2, ScalingEstimate, ReaderNearestEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digitsString(res.Digits) != "1" || res.K != e+1 {
+			t.Fatalf("2^%d in base 2 = %q K=%d", e, digitsString(res.Digits), res.K)
+		}
+	}
+}
+
+func TestFreeFormatErrors(t *testing.T) {
+	good := fpformat.DecodeFloat64(1.5)
+	if _, err := FreeFormat(good, 1, ScalingEstimate, ReaderNearestEven); err == nil {
+		t.Errorf("base 1 accepted")
+	}
+	if _, err := FreeFormat(good, 37, ScalingEstimate, ReaderNearestEven); err == nil {
+		t.Errorf("base 37 accepted")
+	}
+	if _, err := FreeFormat(fpformat.DecodeFloat64(-1.5), 10, ScalingEstimate, ReaderNearestEven); err == nil {
+		t.Errorf("negative value accepted")
+	}
+	for _, bad := range []float64{0, math.Inf(1), math.NaN()} {
+		if _, err := FreeFormat(fpformat.DecodeFloat64(bad), 10, ScalingEstimate, ReaderNearestEven); err == nil {
+			t.Errorf("non-finite/zero value %v accepted", bad)
+		}
+	}
+	if _, err := BasicFreeFormat(good, 37, ReaderNearestEven); err == nil {
+		t.Errorf("basic algorithm accepted base 37")
+	}
+}
+
+func TestFreeFormatWideFormats(t *testing.T) {
+	// binary128-width values exercise the logarithm paths that cannot
+	// represent v as a float64.  Round-trip through the basic algorithm.
+	f := fpformat.Binary128
+	mant := fpformat.DecodeFloat64(1.0 / 3.0).F
+	for _, e := range []int{-16494, -12000, -52, 0, 5000, 16000} {
+		v, err := f.FromParts(false, mant, e)
+		if err != nil {
+			t.Fatalf("FromParts(e=%d): %v", e, err)
+		}
+		want, err := BasicFreeFormat(v, 10, ReaderNearestEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, method := range []Scaling{ScalingEstimate, ScalingFloatLog} {
+			got, err := FreeFormat(v, 10, method, ReaderNearestEven)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if digitsString(got.Digits) != digitsString(want.Digits) || got.K != want.K {
+				t.Fatalf("binary128 e=%d method %v mismatch", e, method)
+			}
+		}
+	}
+}
+
+func TestFreeFormatNonBinaryInputBase(t *testing.T) {
+	// A synthetic decimal input format: v = f × 10^e, printed in base 7 and
+	// base 10; the optimized path must match the rational specification.
+	f, err := fpformat.New("dec9", 10, 9, -60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(16))
+	for i := 0; i < 60; i++ {
+		mant := uint64(r.Int63n(999999999) + 1)
+		e := r.Intn(80) - 40
+		v, err := f.FromParts(false, fpformatNat(mant), e)
+		if err != nil {
+			continue
+		}
+		for _, base := range []int{7, 10, 16} {
+			want, err := BasicFreeFormat(v, base, ReaderNearestEven)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := FreeFormat(v, base, ScalingEstimate, ReaderNearestEven)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if digitsString(got.Digits) != digitsString(want.Digits) || got.K != want.K {
+				t.Fatalf("dec9 f=%d e=%d base %d: got %q K=%d want %q K=%d",
+					mant, e, base, digitsString(got.Digits), got.K,
+					digitsString(want.Digits), want.K)
+			}
+		}
+	}
+}
+
+func TestReaderModeStrings(t *testing.T) {
+	for m, want := range map[ReaderMode]string{
+		ReaderUnknown: "unknown", ReaderNearestEven: "nearest-even",
+		ReaderNearestAway: "nearest-away", ReaderNearestTowardZero: "nearest-toward-zero",
+		ReaderMode(9): "ReaderMode(9)",
+	} {
+		if m.String() != want {
+			t.Errorf("ReaderMode string %q != %q", m.String(), want)
+		}
+	}
+	for s, want := range map[Scaling]string{
+		ScalingEstimate: "estimate", ScalingIterative: "iterative",
+		ScalingFloatLog: "floatlog", Scaling(9): "Scaling(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("Scaling string %q != %q", s.String(), want)
+		}
+	}
+}

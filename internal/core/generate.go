@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"floatprint/internal/bignat"
+	"floatprint/internal/fpformat"
+)
+
+// termination captures which of the paper's two stopping conditions held at
+// the final digit.
+type termination struct {
+	tc1 bool // r ≤ m⁻ (or <): the digits as generated round up to v
+	tc2 bool // r + m⁺ ≥ s (or >): incrementing the last digit rounds down to v
+}
+
+// conditions evaluates the termination conditions against the current
+// remainder (Section 3.1: "Stop at the smallest n for which rₙ < m⁻ₙ or
+// rₙ + m⁺ₙ > sₙ", with the inequalities made inclusive when the
+// corresponding endpoint itself rounds to v).
+func (st *state) conditions() termination {
+	var t termination
+	if st.lowOK {
+		t.tc1 = bignat.Cmp(st.r, st.mm) <= 0
+	} else {
+		t.tc1 = bignat.Cmp(st.r, st.mm) < 0
+	}
+	st.hn = bignat.AddInto(st.hn, st.r, st.mp)
+	if st.highOK {
+		t.tc2 = bignat.Cmp(st.hn, st.s) >= 0
+	} else {
+		t.tc2 = bignat.Cmp(st.hn, st.s) > 0
+	}
+	return t
+}
+
+// nextDigit extracts one digit: d = ⌊r/s⌋, r = r mod s.  The scale
+// invariant guarantees 0 <= d < B; a violation means a scaling bug, which
+// is worth crashing loudly over rather than emitting wrong digits.
+func (st *state) nextDigit() byte {
+	d, r := bignat.DivModSmallQuotientInPlace(st.r, st.s)
+	if d >= bignat.Word(st.base) {
+		panic(fmt.Sprintf("core: digit %d out of range for base %d (scaling bug)", d, st.base))
+	}
+	st.r = r
+	return byte(d)
+}
+
+// roundUp decides, once a termination condition holds, whether the last
+// digit must be incremented: condition (2) alone forces rounding up,
+// condition (1) alone forces rounding down, and when both hold the closer
+// candidate wins, rounding up on a tie as in the paper's Figure 1.
+func (st *state) roundUp(t termination) bool {
+	switch {
+	case t.tc1 && !t.tc2:
+		return false
+	case t.tc2 && !t.tc1:
+		return true
+	}
+	return st.mulBy2Cmp() >= 0
+}
+
+// generate runs the free-format digit loop, returning the digits and
+// whether the final digit is to be incremented.
+func (st *state) generate() (digits []byte, up bool) {
+	for {
+		d := st.nextDigit()
+		digits = append(digits, d)
+		t := st.conditions()
+		if t.tc1 || t.tc2 {
+			return digits, st.roundUp(t)
+		}
+		st.stepMul()
+	}
+}
+
+// incrementLast adds one to the final digit, propagating carries.  If the
+// carry ripples past the first digit the result gains a leading 1 and the
+// scale K rises by one (footnote 2 of the paper).  The returned slice may
+// be the input slice modified in place.
+func incrementLast(digits []byte, base int, k int) ([]byte, int) {
+	for i := len(digits) - 1; i >= 0; i-- {
+		if digits[i] != byte(base-1) {
+			digits[i]++
+			return digits, k
+		}
+		digits[i] = 0
+	}
+	return append([]byte{1}, digits...), k + 1
+}
+
+// trimTrailingZeros removes trailing zero digits (free format only, where
+// a trailing zero would contradict minimality except transiently after a
+// rippling carry).
+func trimTrailingZeros(digits []byte) []byte {
+	n := len(digits)
+	for n > 1 && digits[n-1] == 0 {
+		n--
+	}
+	return digits[:n]
+}
+
+// FreeFormat converts the positive finite value v to the shortest digit
+// string in the given output base that reads back as v under the given
+// reader rounding mode, using the selected scaling strategy.  The result
+// is correctly rounded: |V − v| is at most half the weight of the last
+// digit (output conditions (1) and (2) of Section 2.2).
+func FreeFormat(v fpformat.Value, base int, method Scaling, mode ReaderMode) (Result, error) {
+	if err := checkArgs(v, base); err != nil {
+		return Result{}, err
+	}
+	lowOK, highOK := mode.boundaryOK(v)
+	st := newState(v, base, lowOK, highOK)
+	k := st.scale(method, v)
+	digits, up := st.generate()
+	if up {
+		digits, k = incrementLast(digits, base, k)
+	}
+	digits = trimTrailingZeros(digits)
+	return Result{Digits: digits, K: k, NSig: len(digits)}, nil
+}

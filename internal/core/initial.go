@@ -1,0 +1,127 @@
+package core
+
+import (
+	"floatprint/internal/bignat"
+	"floatprint/internal/fpformat"
+)
+
+// state carries the integer-arithmetic representation of the conversion:
+// the scaled value v = r/s and the half-gap widths m⁺/s = (v⁺−v)/2 and
+// m⁻/s = (v−v⁻)/2, all sharing the explicit common denominator s
+// (Section 3.1 of the paper).
+type state struct {
+	r, s, mp, mm  bignat.Nat
+	hn            bignat.Nat // scratch for the r+m⁺ comparisons
+	lowOK, highOK bool
+	base          int       // output base B
+	pows          *powTable // powers of B
+	ops           int       // high-precision operations performed (Table 2 metric)
+}
+
+// ownedCopy clones a Nat that may be shared with a power cache, with slack
+// capacity so the in-place ×B steps rarely reallocate.
+func ownedCopy(n bignat.Nat) bignat.Nat {
+	c := make(bignat.Nat, len(n), len(n)+4)
+	copy(c, n)
+	return c
+}
+
+// newState initializes r, s, m⁺, and m⁻ from the mantissa and exponent of v
+// according to Table 1 of the paper.  The four rows are distinguished by
+// the sign of e and by whether v sits just above a binade boundary
+// (f = b^(p−1) with e above the minimum exponent), where the gap to the
+// predecessor is one b-th of the gap to the successor.
+func newState(v fpformat.Value, base int, lowOK, highOK bool) *state {
+	f := v.F
+	e := v.E
+	b := v.Fmt.Base
+	bPows := powersOf(b)
+	boundary := v.IsBoundary() && v.E > v.Fmt.MinExp
+
+	st := &state{lowOK: lowOK, highOK: highOK, base: base, pows: powersOf(base)}
+	// m⁺ and m⁻ are copied out of the power cache (never shared) because
+	// the digit loop multiplies them in place.
+	switch {
+	case e >= 0 && !boundary:
+		// r = f·bᵉ·2, s = 2, m⁺ = m⁻ = bᵉ
+		be := bPows.pow(uint(e))
+		st.r = bignat.Shl(bignat.Mul(f, be), 1)
+		st.s = bignat.FromUint64(2)
+		st.mp = ownedCopy(be)
+		st.mm = ownedCopy(be)
+	case e >= 0 && boundary:
+		// r = f·bᵉ⁺¹·2, s = b·2, m⁺ = bᵉ⁺¹, m⁻ = bᵉ
+		be := bPows.pow(uint(e))
+		be1 := bPows.pow(uint(e) + 1)
+		st.r = bignat.Shl(bignat.Mul(f, be1), 1)
+		st.s = bignat.FromUint64(uint64(2 * b))
+		st.mp = ownedCopy(be1)
+		st.mm = ownedCopy(be)
+	case !boundary:
+		// e < 0: r = f·2, s = b⁻ᵉ·2, m⁺ = m⁻ = 1
+		st.r = bignat.Shl(f, 1)
+		st.s = bignat.Shl(bPows.pow(uint(-e)), 1)
+		st.mp = ownedCopy(bignat.Nat{1})
+		st.mm = ownedCopy(bignat.Nat{1})
+	default:
+		// e < 0 at a boundary: r = f·b·2, s = b¹⁻ᵉ·2, m⁺ = b, m⁻ = 1
+		st.r = bignat.Shl(bignat.MulWord(f, bignat.Word(b)), 1)
+		st.s = bignat.Shl(bPows.pow(uint(1-e)), 1)
+		st.mp = ownedCopy(bignat.FromUint64(uint64(b)))
+		st.mm = ownedCopy(bignat.Nat{1})
+	}
+	return st
+}
+
+// tooLow reports whether the current scale underestimates k: the high
+// endpoint v + m⁺/s reaches or exceeds 1 (i.e. Bᵏ at the current scale).
+// When the high endpoint is an admissible output (highOK) the comparison is
+// inclusive, matching "k is the smallest integer such that high < Bᵏ".
+func (st *state) tooLow() bool {
+	st.ops += 2 // add + compare
+	st.hn = bignat.AddInto(st.hn, st.r, st.mp)
+	if st.highOK {
+		return bignat.Cmp(st.hn, st.s) >= 0
+	}
+	return bignat.Cmp(st.hn, st.s) > 0
+}
+
+// tooHigh reports whether the current scale overestimates k: even after
+// one more digit position the high endpoint stays below 1/B.
+func (st *state) tooHigh() bool {
+	st.ops += 3 // add + multiply + compare
+	st.hn = bignat.AddInto(st.hn, st.r, st.mp)
+	st.hn = bignat.MulWordInPlace(st.hn, bignat.Word(st.base))
+	if st.highOK {
+		return bignat.Cmp(st.hn, st.s) < 0
+	}
+	return bignat.Cmp(st.hn, st.s) <= 0
+}
+
+// scaleByPow multiplies the state for a scale estimate est: a non-negative
+// est multiplies the denominator by B^est, a negative one multiplies the
+// numerators by B^(−est) (step 3 of the Section 3.1 procedure).
+func (st *state) scaleByPow(est int) {
+	if est != 0 {
+		st.ops++ // one multiplication by a (cached) power
+	}
+	if est >= 0 {
+		st.s = bignat.Mul(st.s, st.pows.pow(uint(est)))
+		return
+	}
+	st.ops += 2 // two more multiplications on the numerator side
+	scale := st.pows.pow(uint(-est))
+	st.r = bignat.Mul(st.r, scale)
+	st.mp = bignat.Mul(st.mp, scale)
+	st.mm = bignat.Mul(st.mm, scale)
+}
+
+// stepMul advances the numerators one digit position: r, m⁺, m⁻ ×= B,
+// mutating in place (the state owns these values exclusively).
+func (st *state) stepMul() {
+	st.ops += 3
+	w := bignat.Word(st.base)
+	st.r = bignat.MulWordInPlace(st.r, w)
+	st.mp = bignat.MulWordInPlace(st.mp, w)
+	st.mm = bignat.MulWordInPlace(st.mm, w)
+}

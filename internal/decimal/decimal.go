@@ -1,0 +1,241 @@
+// Package decimal implements exact binary-to-decimal conversion using an
+// arbitrary-precision decimal digit array — the approach Go's strconv used
+// for shortest formatting before Grisu/Ryū, and conceptually the closest
+// relative of Steele & White's original Dragon: instead of scaling big
+// *binary* integers (Burger & Dybvig) it maintains the decimal digit
+// string itself and shifts it by powers of two.
+//
+// The package provides a complete fourth implementation of shortest
+// printing (after internal/core, internal/grisu, and internal/ryu) and a
+// third fixed-precision one, used by the differential test suite: four
+// independently derived implementations agreeing digit-for-digit over
+// millions of values is the repository's strongest correctness evidence.
+package decimal
+
+import "fmt"
+
+// A Dec is a positive decimal number 0.d₀d₁…dₙ₋₁ × 10^DP with digit
+// values (not ASCII) and no leading zero digit (unless the value is 0,
+// represented by an empty digit slice).  Truncated records whether
+// nonzero digits have been discarded beyond the stored ones (needed for
+// correct rounding after precision capping).
+type Dec struct {
+	D         []byte
+	DP        int
+	Truncated bool
+}
+
+// maxDigits caps the stored digits; doubles need at most 767 significant
+// decimal digits (the longest exact expansion, 2^-1074's tail), plus slack.
+const maxDigits = 800
+
+// FromUint64 returns the exact decimal of m.
+func FromUint64(m uint64) *Dec {
+	d := &Dec{}
+	if m == 0 {
+		return d
+	}
+	var buf [20]byte
+	n := 0
+	for m > 0 {
+		buf[n] = byte(m % 10)
+		m /= 10
+		n++
+	}
+	d.D = make([]byte, 0, maxDigits)
+	for i := n - 1; i >= 0; i-- {
+		d.D = append(d.D, buf[i])
+	}
+	d.DP = n
+	d.trim()
+	return d
+}
+
+// trim removes trailing zero digits (the value is unchanged).
+func (d *Dec) trim() {
+	for len(d.D) > 0 && d.D[len(d.D)-1] == 0 {
+		d.D = d.D[:len(d.D)-1]
+	}
+	if len(d.D) == 0 {
+		d.DP = 0
+		d.Truncated = false
+	}
+}
+
+// Shift multiplies the value by 2ᵏ (k of either sign), exactly up to the
+// digit cap.
+func (d *Dec) Shift(k int) {
+	const batch = 50 // 9·2⁵⁰ and rem·10 both fit comfortably in uint64
+	for k > 0 {
+		b := min(k, batch)
+		d.mulPow2(uint(b))
+		k -= b
+	}
+	for k < 0 {
+		b := min(-k, batch)
+		d.divPow2(uint(b))
+		k += b
+	}
+}
+
+// mulPow2 multiplies by 2ᵇ in one right-to-left pass.
+func (d *Dec) mulPow2(b uint) {
+	if len(d.D) == 0 {
+		return
+	}
+	var carry uint64
+	for i := len(d.D) - 1; i >= 0; i-- {
+		acc := uint64(d.D[i])<<b + carry
+		d.D[i] = byte(acc % 10)
+		carry = acc / 10
+	}
+	// Prepend the carry digits.
+	var lead []byte
+	for carry > 0 {
+		lead = append(lead, byte(carry%10))
+		carry /= 10
+	}
+	if len(lead) > 0 {
+		reversed := make([]byte, 0, len(lead)+len(d.D))
+		for i := len(lead) - 1; i >= 0; i-- {
+			reversed = append(reversed, lead[i])
+		}
+		d.D = append(reversed, d.D...)
+		d.DP += len(lead)
+	}
+	d.cap()
+	d.trim()
+}
+
+// divPow2 divides by 2ᵇ in one left-to-right pass, extending the digit
+// string as the quotient develops.
+func (d *Dec) divPow2(b uint) {
+	if len(d.D) == 0 {
+		return
+	}
+	var rem uint64
+	mask := uint64(1)<<b - 1
+	out := make([]byte, 0, len(d.D)+int(b))
+	read := 0
+	// Consume existing digits.
+	for ; read < len(d.D); read++ {
+		acc := rem*10 + uint64(d.D[read])
+		out = append(out, byte(acc>>b))
+		rem = acc & mask
+	}
+	// Flush the remainder.
+	for rem > 0 {
+		acc := rem * 10
+		out = append(out, byte(acc>>b))
+		rem = acc & mask
+	}
+	// Renormalize: drop leading zeros, adjusting the exponent.
+	lead := 0
+	for lead < len(out) && out[lead] == 0 {
+		lead++
+	}
+	d.D = out[lead:]
+	d.DP -= lead
+	d.cap()
+	d.trim()
+}
+
+// cap enforces the digit limit, recording truncation.
+func (d *Dec) cap() {
+	if len(d.D) > maxDigits {
+		for _, x := range d.D[maxDigits:] {
+			if x != 0 {
+				d.Truncated = true
+				break
+			}
+		}
+		d.D = d.D[:maxDigits]
+	}
+}
+
+// TieRule selects how an exact halfway case rounds.
+type TieRule int
+
+const (
+	// TieUp rounds halves away from zero (the paper's Figure 1 choice).
+	TieUp TieRule = iota
+	// TieEven rounds halves to the even digit (C library convention).
+	TieEven
+)
+
+// shouldRoundUp decides the rounding at digit index nd.
+func (d *Dec) shouldRoundUp(nd int, tie TieRule) bool {
+	if nd < 0 || nd >= len(d.D) {
+		return false
+	}
+	if d.D[nd] == 5 && nd+1 == len(d.D) && !d.Truncated {
+		// Exactly halfway.
+		if tie == TieUp {
+			return true
+		}
+		return nd > 0 && d.D[nd-1]%2 != 0
+	}
+	return d.D[nd] >= 5
+}
+
+// Round rounds the value to nd significant digits in place.
+func (d *Dec) Round(nd int, tie TieRule) {
+	if nd < 0 || nd >= len(d.D) {
+		return
+	}
+	if d.shouldRoundUp(nd, tie) {
+		d.roundUp(nd)
+	} else {
+		d.roundDown(nd)
+	}
+}
+
+func (d *Dec) roundDown(nd int) {
+	d.D = d.D[:nd]
+	d.trim()
+}
+
+func (d *Dec) roundUp(nd int) {
+	for i := nd - 1; i >= 0; i-- {
+		if d.D[i] < 9 {
+			d.D = d.D[:i+1]
+			d.D[i]++
+			d.trim()
+			return
+		}
+	}
+	// 999… rolls over to 1 with a higher exponent.
+	d.D = d.D[:1]
+	d.D[0] = 1
+	d.DP++
+	d.trim()
+}
+
+// DigitAt returns the digit at index i of the canonical expansion
+// (0 when i is beyond the stored digits).
+func (d *Dec) DigitAt(i int) byte {
+	if i < 0 || i >= len(d.D) {
+		return 0
+	}
+	return d.D[i]
+}
+
+// IsZero reports whether the value is zero.
+func (d *Dec) IsZero() bool { return len(d.D) == 0 }
+
+// String renders the decimal for diagnostics.
+func (d *Dec) String() string {
+	if d.IsZero() {
+		return "0"
+	}
+	digits := make([]byte, len(d.D))
+	for i, x := range d.D {
+		digits[i] = '0' + x
+	}
+	return fmt.Sprintf("0.%se%d", digits, d.DP)
+}
+
+// Clone returns an independent copy.
+func (d *Dec) Clone() *Dec {
+	return &Dec{D: append([]byte(nil), d.D...), DP: d.DP, Truncated: d.Truncated}
+}

@@ -1,0 +1,212 @@
+// Package extfloat implements a software model of x87 80-bit extended
+// floating point: a 64-bit mantissa with an unconstrained exponent and
+// round-to-nearest-even multiplication.
+//
+// Its role in this reproduction is to back the NaivePrintf baseline: the
+// 1990s C libraries whose printf the paper benchmarks in Table 3 performed
+// binary-to-decimal scaling in hardware long double (or plain double).
+// With 64 mantissa bits, scaling by a correctly rounded power of ten and
+// peeling 17 digits leaves a relative error of a few units in 2⁻⁶⁴, which
+// flips the 17th digit on a small fraction of inputs — the "Incorrect"
+// column of Table 3.  Reproducing that failure mode requires exactly this
+// arithmetic, since modern libraries (and Go's strconv) round correctly.
+package extfloat
+
+import (
+	"math"
+	"math/bits"
+
+	"floatprint/internal/bignat"
+)
+
+// Ext is a non-negative extended float: value = M × 2ᴱ with the mantissa
+// normalized (top bit set) unless the value is zero (M == 0).
+type Ext struct {
+	M uint64
+	E int
+}
+
+// Zero is the zero value.
+var Zero = Ext{}
+
+// FromFloat64 converts a non-negative finite float64 exactly.
+func FromFloat64(v float64) Ext {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		panic("extfloat: FromFloat64 requires a non-negative finite value")
+	}
+	if v == 0 {
+		return Zero
+	}
+	frac, exp := math.Frexp(v) // v = frac·2^exp, frac ∈ [0.5, 1)
+	m := uint64(frac * (1 << 53))
+	return normalize(m, exp-53)
+}
+
+// FromUint64 converts an integer exactly if it fits 64 mantissa bits
+// (all uint64 values do).
+func FromUint64(u uint64) Ext {
+	if u == 0 {
+		return Zero
+	}
+	return normalize(u, 0)
+}
+
+// normalize shifts m up until its top bit is set, adjusting e.
+func normalize(m uint64, e int) Ext {
+	s := bits.LeadingZeros64(m)
+	return Ext{M: m << s, E: e - s}
+}
+
+// Float64 rounds to the nearest float64 (ties to even).  Exponent overflow
+// and subnormal rounding are not handled — callers stay in range.
+func (x Ext) Float64() float64 {
+	if x.M == 0 {
+		return 0
+	}
+	// Keep 53 bits, round on the lower 11.
+	keep := x.M >> 11
+	rem := x.M & (1<<11 - 1)
+	half := uint64(1) << 10
+	if rem > half || (rem == half && keep&1 == 1) {
+		keep++
+	}
+	return math.Ldexp(float64(keep), x.E+11)
+}
+
+// Mul returns x*y rounded to nearest even.
+func Mul(x, y Ext) Ext {
+	if x.M == 0 || y.M == 0 {
+		return Zero
+	}
+	hi, lo := bits.Mul64(x.M, y.M)
+	e := x.E + y.E + 64
+	// Product of two normalized mantissas is in [2^126, 2^128): at most
+	// one left shift renormalizes.
+	if hi&(1<<63) == 0 {
+		hi = hi<<1 | lo>>63
+		lo <<= 1
+		e--
+	}
+	// Round hi by the discarded low word.
+	if lo > 1<<63 || (lo == 1<<63 && hi&1 == 1) {
+		hi++
+		if hi == 0 { // mantissa overflowed to 2^64
+			hi = 1 << 63
+			e++
+		}
+	}
+	return Ext{M: hi, E: e}
+}
+
+// Cmp compares x with the small non-negative integer n.
+func (x Ext) Cmp(n uint64) int {
+	y := FromUint64(n)
+	switch {
+	case x.M == 0 && y.M == 0:
+		return 0
+	case x.M == 0:
+		return -1
+	case y.M == 0:
+		return 1
+	case x.E != y.E:
+		if x.E < y.E {
+			return -1
+		}
+		return 1
+	case x.M < y.M:
+		return -1
+	case x.M > y.M:
+		return 1
+	}
+	return 0
+}
+
+// DigitBelow returns the integer part d of x (which must be < 2⁶³ in
+// magnitude and is below the base for digit peeling) and the exact
+// fractional remainder.
+func (x Ext) DigitBelow() (d uint64, rest Ext) {
+	if x.M == 0 || x.E <= -64 {
+		return 0, x
+	}
+	if x.E >= 0 {
+		panic("extfloat: DigitBelow integer part out of range")
+	}
+	shift := uint(-x.E)
+	d = x.M >> shift
+	frac := x.M & (1<<shift - 1)
+	if frac == 0 {
+		return d, Zero
+	}
+	return d, normalize(frac, x.E)
+}
+
+// MulPow10 returns x·10ᵏ using one multiplication by a correctly rounded
+// extended-precision power of ten, as an x87-era printf's long-double
+// power table would.
+func (x Ext) MulPow10(k int) Ext {
+	if k == 0 || x.M == 0 {
+		return x
+	}
+	return Mul(x, Pow10(k))
+}
+
+const pow10Range = 360
+
+var pow10Table = buildPow10Table()
+
+// Pow10 returns the correctly rounded extended-precision value of 10ᵏ for
+// |k| <= 360, covering the double range with margin.
+func Pow10(k int) Ext {
+	if k < -pow10Range || k > pow10Range {
+		panic("extfloat: Pow10 exponent out of range")
+	}
+	return pow10Table[k+pow10Range]
+}
+
+// buildPow10Table computes each power exactly with bignat and rounds it
+// once to 64 bits, so every table entry has at most half an ulp of error —
+// matching a correctly rounded long-double constant table.
+func buildPow10Table() []Ext {
+	table := make([]Ext, 2*pow10Range+1)
+	for k := -pow10Range; k <= pow10Range; k++ {
+		table[k+pow10Range] = roundedPow10(k)
+	}
+	return table
+}
+
+func roundedPow10(k int) Ext {
+	if k >= 0 {
+		return roundNatSticky(bignat.PowUint(10, uint(k)), 0, false)
+	}
+	// 10ᵏ for k < 0: compute floor(2ᴺ / 10⁻ᵏ) with N chosen so the
+	// quotient has at least 65 bits, keeping a guard bit; any nonzero
+	// division remainder supplies the sticky bit.
+	den := bignat.PowUint(10, uint(-k))
+	shift := den.BitLen() + 65
+	q, rem := bignat.DivMod(bignat.Shl(bignat.Nat{1}, uint(shift)), den)
+	return roundNatSticky(q, -shift, !rem.IsZero())
+}
+
+func roundNatSticky(n bignat.Nat, e int, sticky bool) Ext {
+	bl := n.BitLen()
+	if bl <= 64 {
+		// Sticky bits strictly below a mantissa that already fits cannot
+		// change the rounding of an exact 64-bit value.
+		u, _ := n.Uint64()
+		return normalize(u, e)
+	}
+	shift := uint(bl - 64)
+	top := bignat.Shr(n, shift)
+	u, _ := top.Uint64()
+	rem := bignat.Sub(n, bignat.Shl(top, shift))
+	half := bignat.Shl(bignat.Nat{1}, shift-1)
+	c := bignat.Cmp(rem, half)
+	roundUp := c > 0 || (c == 0 && (sticky || u&1 == 1))
+	if roundUp {
+		u++
+		if u == 0 {
+			return Ext{M: 1 << 63, E: e + int(shift) + 1}
+		}
+	}
+	return Ext{M: u, E: e + int(shift)}
+}

@@ -1,0 +1,202 @@
+package extfloat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestFromFloat64RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	vals := []float64{0, 1, 0.5, 10, math.MaxFloat64, math.SmallestNonzeroFloat64, 0x1p-1022}
+	for i := 0; i < 5000; i++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	for _, v := range vals {
+		x := FromFloat64(v)
+		if got := x.Float64(); got != v {
+			t.Fatalf("round trip %g -> %g", v, got)
+		}
+		if v != 0 && x.M>>63 != 1 {
+			t.Fatalf("mantissa of %g not normalized: %x", v, x.M)
+		}
+	}
+}
+
+func TestFromFloat64PanicsOnBadInput(t *testing.T) {
+	for _, v := range []float64{-1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromFloat64(%v) did not panic", v)
+				}
+			}()
+			FromFloat64(v)
+		}()
+	}
+}
+
+func TestMulExactSmallProducts(t *testing.T) {
+	// Products that fit in 64 bits must be exact.
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := uint64(r.Int63n(1 << 31))
+		b := uint64(r.Int63n(1 << 31))
+		got := Mul(FromUint64(a), FromUint64(b))
+		want := FromUint64(a * b)
+		if got != want {
+			t.Fatalf("Mul(%d, %d) = %+v, want %+v", a, b, got, want)
+		}
+	}
+}
+
+func TestMulZero(t *testing.T) {
+	if Mul(Zero, FromUint64(5)) != Zero || Mul(FromUint64(5), Zero) != Zero {
+		t.Errorf("multiplication by zero should be zero")
+	}
+}
+
+// TestMulCorrectlyRounded checks Mul against exact big.Int arithmetic.
+func TestMulCorrectlyRounded(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		a := Ext{M: r.Uint64() | 1<<63, E: r.Intn(100) - 50}
+		b := Ext{M: r.Uint64() | 1<<63, E: r.Intn(100) - 50}
+		got := Mul(a, b)
+		prod := new(big.Int).Mul(new(big.Int).SetUint64(a.M), new(big.Int).SetUint64(b.M))
+		bl := prod.BitLen()
+		shift := uint(bl - 64)
+		top := new(big.Int).Rsh(prod, shift)
+		rem := new(big.Int).Sub(prod, new(big.Int).Lsh(top, shift))
+		half := new(big.Int).Lsh(big.NewInt(1), shift-1)
+		u := top.Uint64()
+		c := rem.Cmp(half)
+		if c > 0 || (c == 0 && u&1 == 1) {
+			u++
+		}
+		wantE := a.E + b.E + int(shift)
+		wantM := u
+		if u == 0 { // carry out of 64 bits
+			wantM = 1 << 63
+			wantE++
+		}
+		if got.M != wantM || got.E != wantE {
+			t.Fatalf("Mul(%+v, %+v) = %+v, want M=%x E=%d", a, b, got, wantM, wantE)
+		}
+	}
+}
+
+func TestDigitBelow(t *testing.T) {
+	x := FromFloat64(7.25)
+	d, rest := x.DigitBelow()
+	if d != 7 {
+		t.Fatalf("int part of 7.25 = %d", d)
+	}
+	if got := rest.Float64(); got != 0.25 {
+		t.Fatalf("frac part of 7.25 = %g", got)
+	}
+	// Exact integer leaves zero.
+	d, rest = FromUint64(9).DigitBelow()
+	if d != 9 || rest != Zero {
+		t.Fatalf("DigitBelow(9) = %d, %+v", d, rest)
+	}
+	// Pure fraction.
+	d, rest = FromFloat64(0.75).DigitBelow()
+	if d != 0 || rest.Float64() != 0.75 {
+		t.Fatalf("DigitBelow(0.75) = %d, %g", d, rest.Float64())
+	}
+	// Tiny values (E <= -64).
+	d, rest = FromFloat64(0x1p-100).DigitBelow()
+	if d != 0 || rest.Float64() != 0x1p-100 {
+		t.Fatalf("DigitBelow(2^-100) wrong")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	if FromFloat64(9.5).Cmp(10) != -1 || FromFloat64(10).Cmp(10) != 0 || FromFloat64(10.5).Cmp(10) != 1 {
+		t.Errorf("Cmp around 10 wrong")
+	}
+	if Zero.Cmp(0) != 0 || Zero.Cmp(1) != -1 || FromUint64(1).Cmp(0) != 1 {
+		t.Errorf("Cmp with zero wrong")
+	}
+	if FromFloat64(1e-30).Cmp(1) != -1 || FromFloat64(1e30).Cmp(1) != 1 {
+		t.Errorf("Cmp across exponents wrong")
+	}
+}
+
+// TestPow10CorrectlyRounded verifies each table entry against math/big.
+func TestPow10CorrectlyRounded(t *testing.T) {
+	for k := -pow10Range; k <= pow10Range; k++ {
+		got := Pow10(k)
+		// Exact 10^|k| as big.Int; for negative k compare
+		// got.M·10^-k·2^-got.E against 2^0 bounds:
+		// correctly rounded means |got − 10^k| <= ulp/2 = 2^(E-1).
+		exact := new(big.Float).SetPrec(200)
+		exact.SetInt(new(big.Int).Exp(big.NewInt(10), big.NewInt(int64(abs(k))), nil))
+		if k < 0 {
+			exact.Quo(big.NewFloat(1).SetPrec(200), exact)
+		}
+		approx := new(big.Float).SetPrec(200).SetUint64(got.M)
+		approx.SetMantExp(approx, got.E) // approx = M × 2^E
+		diff := new(big.Float).SetPrec(200).Sub(exact, approx)
+		diff.Abs(diff)
+		halfUlp := new(big.Float).SetMantExp(big.NewFloat(1), got.E-1)
+		if diff.Cmp(halfUlp) > 0 {
+			t.Fatalf("Pow10(%d) not correctly rounded: diff %v > half ulp %v", k, diff, halfUlp)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPow10RangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Pow10 out of range did not panic")
+		}
+	}()
+	Pow10(pow10Range + 1)
+}
+
+func TestMulPow10Identity(t *testing.T) {
+	x := FromFloat64(3.5)
+	if x.MulPow10(0) != x {
+		t.Errorf("MulPow10(0) should be identity")
+	}
+	if Zero.MulPow10(5) != Zero {
+		t.Errorf("MulPow10 of zero should be zero")
+	}
+	// 3.5 × 10² == 350 exactly (representable, correctly rounded table).
+	if got := x.MulPow10(2).Float64(); got != 350 {
+		t.Errorf("3.5e2 = %g", got)
+	}
+}
+
+func TestScalePeelAccuracy(t *testing.T) {
+	// Scaling π by 10^k then back must stay within a few ulps; and digit
+	// peeling must recover the leading digits of simple constants.
+	x := FromFloat64(math.Pi).MulPow10(5)
+	if got := x.Float64(); math.Abs(got-314159.26535897932) > 1e-6 {
+		t.Fatalf("π·10⁵ = %v", got)
+	}
+	digits := ""
+	y := FromFloat64(math.Pi)
+	for i := 0; i < 15; i++ {
+		d, rest := y.DigitBelow()
+		digits += string(rune('0' + d))
+		y = Mul(rest, FromUint64(10))
+	}
+	if digits != "314159265358979" {
+		t.Fatalf("peeled digits of π = %q", digits)
+	}
+}

@@ -1,0 +1,121 @@
+// Package fastpath implements the fixed-format fast path that the paper's
+// conclusion attributes to David Gay: "he showed that floating-point
+// arithmetic is sufficiently accurate in most cases when the requested
+// number of digits is small.  The fixed-format printing algorithm
+// described in this paper is useful when these heuristics fail."
+//
+// TryFixed prints n significant decimal digits using the 64-bit-mantissa
+// extended floats of internal/extfloat while tracking a rigorous error
+// bound.  If, at rounding time, the computed remainder is provably on one
+// side of every digit and rounding boundary — and the requested precision
+// provably lies within the value's own precision, so no '#' marks are
+// needed — the result is certified correct and returned.  Otherwise the
+// caller falls back to the exact big-integer algorithm.  The certificate
+// makes the fast path *safe*: it can decline, never lie.
+package fastpath
+
+import (
+	"math"
+
+	"floatprint/internal/extfloat"
+)
+
+// maxDigits bounds the fast path: beyond 17 digits the accumulated error
+// reaches whole units of the last digit and certification always fails.
+const maxDigits = 17
+
+// TryFixed attempts to produce the first n correctly rounded significant
+// decimal digits of v > 0 together with the scale K (V = 0.d₁…dₙ × 10ᴷ).
+// ok reports whether the result is certified; on ok == false the other
+// results are meaningless and the exact algorithm must be used.
+//
+// A certified result is identical to the exact fixed-format algorithm's:
+// all n digits significant, ties impossible (they fail certification).
+func TryFixed(v float64, n int) (digits []byte, k int, ok bool) {
+	if n <= 0 || n > maxDigits || v <= 0 ||
+		math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil, 0, false
+	}
+
+	// Normalize x into [1, 10) with one table multiplication; count the
+	// roundings for the error bound.
+	frac, e2 := math.Frexp(v)
+	k = int(math.Floor(float64(e2)*0.30102999566398120 + math.Log10(frac)))
+	if k < -340 || k > 340 {
+		return nil, 0, false // outside the Pow10 table with margin
+	}
+	x := extfloat.FromFloat64(v).MulPow10(-k)
+	muls := 1
+	for x.Cmp(10) >= 0 {
+		x = x.MulPow10(-1)
+		k++
+		muls++
+	}
+	for x.Cmp(1) < 0 {
+		x = x.MulPow10(1)
+		k--
+		muls++
+	}
+	k++ // 0.d₁…dₙ × 10ᴷ convention
+
+	// Error bound in current-value units: each multiplication contributes
+	// at most 1 ulp (0.5 for the correctly rounded table entry + 0.5 for
+	// the product rounding is already counted per-operand as one), with an
+	// extra 1.25 safety factor on the whole budget.
+	const ulp = 1.0 / (1 << 31) / (1 << 31) / 4 // 2⁻⁶⁴
+	err := float64(muls+1) * 2 * ulp * 10 * 1.25
+
+	// The requested precision must sit strictly inside the value's own:
+	// output ulp 10^(k-n) at least 4× the larger neighbor gap, otherwise
+	// '#' marks (or the paper's wide-range semantics) come into play and
+	// only the exact algorithm handles those.
+	gapHigh := math.Nextafter(v, math.Inf(1)) - v
+	gapLow := v - math.Nextafter(v, 0)
+	if math.IsInf(gapHigh, 0) || gapLow <= 0 {
+		return nil, 0, false
+	}
+	outUlp := math.Pow(10, float64(k-n))
+	if math.IsInf(outUlp, 0) || outUlp == 0 || outUlp < 4*math.Max(gapHigh, gapLow) {
+		return nil, 0, false
+	}
+
+	// Peel n digits; the subtraction in DigitBelow is exact, the ×10
+	// rounds once.
+	ten := extfloat.FromUint64(10)
+	digits = make([]byte, n)
+	for i := 0; i < n; i++ {
+		d, rest := x.DigitBelow()
+		if d > 9 {
+			return nil, 0, false // error already visible at the digit level
+		}
+		digits[i] = byte(d)
+		x = extfloat.Mul(rest, ten)
+		err = err*10 + 2*ulp*10*1.25
+	}
+
+	// Certify: the true remainder lies in [y-err, y+err]; that interval
+	// must avoid 0, 10 (digit-lattice crossings anywhere in the string
+	// surface here) and 5 (the rounding boundary).
+	y := x.Float64()
+	if y-err < 0 || y+err > 10 || math.Abs(y-5) <= err {
+		return nil, 0, false
+	}
+	if y >= 5 {
+		digits, k = roundUp(digits, k)
+	}
+	return digits, k, true
+}
+
+// roundUp increments the final digit with carry; a ripple past the front
+// yields 1 followed by zeros with K raised, still n digits.
+func roundUp(digits []byte, k int) ([]byte, int) {
+	for i := len(digits) - 1; i >= 0; i-- {
+		if digits[i] != 9 {
+			digits[i]++
+			return digits, k
+		}
+		digits[i] = 0
+	}
+	digits[0] = 1
+	return digits, k + 1
+}

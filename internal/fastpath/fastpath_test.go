@@ -1,0 +1,233 @@
+package fastpath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"floatprint/internal/baseline"
+	"floatprint/internal/core"
+	"floatprint/internal/fpformat"
+	"floatprint/internal/schryer"
+)
+
+// TestCertifiedResultsMatchExact is the safety property: whenever TryFixed
+// certifies a result it must equal the exact algorithms' output exactly —
+// both the straightforward FixedDigits baseline (pure decimal rounding)
+// and the paper's FixedFormatRelative (which coincides with it in the
+// certified regime).
+func TestCertifiedResultsMatchExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	certified, tried := 0, 0
+	checkOne := func(v float64, n int) {
+		tried++
+		digits, k, ok := TryFixed(v, n)
+		if !ok {
+			return
+		}
+		certified++
+		val := fpformat.DecodeFloat64(v)
+		exact, err := core.FixedFormatRelative(val, 10, core.ReaderUnknown, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.NSig != n {
+			t.Fatalf("TryFixed(%g, %d) certified but exact algorithm marks digits (NSig=%d)",
+				v, n, exact.NSig)
+		}
+		if k != exact.K || !equal(digits, exact.Digits) {
+			t.Fatalf("TryFixed(%g, %d) = %v K=%d, exact = %v K=%d",
+				v, n, digits, k, exact.Digits, exact.K)
+		}
+		straight, err := baseline.FixedDigits(val, 10, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != straight.K || !equal(digits, straight.Digits) {
+			t.Fatalf("TryFixed(%g, %d) = %v K=%d, straightforward = %v K=%d",
+				v, n, digits, k, straight.Digits, straight.K)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		checkOne(v, 1+r.Intn(17))
+	}
+	for _, v := range schryer.CorpusN(10000) {
+		checkOne(v, 1+r.Intn(17))
+	}
+	if certified == 0 {
+		t.Fatal("fast path never certified anything")
+	}
+	t.Logf("certified %d of %d (%.1f%%)", certified, tried, 100*float64(certified)/float64(tried))
+}
+
+func TestSuccessRateIsHighForFewDigits(t *testing.T) {
+	// Gay: "floating-point arithmetic is sufficiently accurate in most
+	// cases when the requested number of digits is small."
+	corpus := schryer.CorpusN(20000)
+	for _, n := range []int{6, 10, 15} {
+		okCount := 0
+		for _, v := range corpus {
+			if _, _, ok := TryFixed(v, n); ok {
+				okCount++
+			}
+		}
+		rate := float64(okCount) / float64(len(corpus))
+		if rate < 0.80 {
+			t.Errorf("fast path certifies only %.1f%% at %d digits", 100*rate, n)
+		}
+		t.Logf("n=%2d: %.2f%% certified", n, 100*rate)
+	}
+}
+
+func TestDeclinesWhereMarksNeeded(t *testing.T) {
+	// Wide-precision requests and denormals must be declined, not guessed.
+	if _, _, ok := TryFixed(5e-324, 10); ok {
+		t.Errorf("fast path certified a denormal at 10 digits")
+	}
+	if _, _, ok := TryFixed(100, 17); ok {
+		// 10^(3-17) = 1e-14 is within 4x of 100's half-gap 7.1e-15.
+		t.Errorf("fast path certified 100@17, which needs marks territory")
+	}
+	if _, _, ok := TryFixed(1, 18); ok {
+		t.Errorf("fast path accepted n beyond its limit")
+	}
+	for _, v := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, _, ok := TryFixed(v, 5); ok {
+			t.Errorf("fast path accepted %v", v)
+		}
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	digits, k, ok := TryFixed(math.Pi, 6)
+	if !ok || k != 1 || string(digitsText(digits)) != "314159" {
+		t.Errorf("pi@6 = %s K=%d ok=%v", digitsText(digits), k, ok)
+	}
+	digits, k, ok = TryFixed(9.97, 2)
+	if !ok || k != 2 || string(digitsText(digits)) != "10" {
+		t.Errorf("9.97@2 = %s K=%d ok=%v (carry case)", digitsText(digits), k, ok)
+	}
+	digits, k, ok = TryFixed(999.999, 3)
+	if !ok || k != 4 || string(digitsText(digits)) != "100" {
+		t.Errorf("999.999@3 = %s K=%d ok=%v (ripple carry)", digitsText(digits), k, ok)
+	}
+}
+
+func digitsText(d []byte) []byte {
+	out := make([]byte, len(d))
+	for i, x := range d {
+		out[i] = '0' + x
+	}
+	return out
+}
+
+func equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkTryFixed10(b *testing.B) {
+	corpus := schryer.CorpusN(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TryFixed(corpus[i%len(corpus)], 10)
+	}
+}
+
+// BenchmarkFixedWithFallback measures the blended cost: fast path when
+// certified, exact algorithm otherwise — the §5 deployment strategy.
+func BenchmarkFixedWithFallback(b *testing.B) {
+	corpus := schryer.CorpusN(4096)
+	values := make([]fpformat.Value, len(corpus))
+	for i, f := range corpus {
+		values[i] = fpformat.DecodeFloat64(f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := corpus[i%len(corpus)]
+		if _, _, ok := TryFixed(v, 10); !ok {
+			if _, err := baseline.FixedDigits(values[i%len(values)], 10, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFixedExactOnly(b *testing.B) {
+	corpus := schryer.CorpusN(4096)
+	values := make([]fpformat.Value, len(corpus))
+	for i, f := range corpus {
+		values[i] = fpformat.DecodeFloat64(f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.FixedDigits(values[i%len(values)], 10, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDeclineBranches(t *testing.T) {
+	// Out-of-table exponents.
+	if _, _, ok := TryFixed(math.MaxFloat64, 5); ok {
+		// MaxFloat64 is within the table; this may legitimately certify.
+		_ = ok
+	}
+	// k estimate outside the Pow10 range cannot occur for float64, but the
+	// guard is exercised by values near the extremes with big n.
+	if _, _, ok := TryFixed(math.SmallestNonzeroFloat64, 17); ok {
+		t.Errorf("smallest denormal at 17 digits certified")
+	}
+	// Values needing upward normalization (estimate one low).
+	for _, v := range []float64{9.999999999999998, 0.9999999999999999, 1.0000000000000002} {
+		digits, k, ok := TryFixed(v, 8)
+		if !ok {
+			continue
+		}
+		exact, err := baseline.FixedDigits(fpformat.DecodeFloat64(v), 10, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != exact.K || !equal(digits, exact.Digits) {
+			t.Fatalf("normalization edge %g: %v K=%d vs %v K=%d", v, digits, k, exact.Digits, exact.K)
+		}
+	}
+	// Near-tie values must decline rather than guess: construct a value
+	// whose 3-digit rounding is an exact tie (x.xx5 exactly).
+	if digits, k, ok := TryFixed(1.125, 3); ok {
+		// 1.125 is exactly representable; its half-way 3-digit rounding is
+		// a true tie and certification must have rejected it...
+		t.Errorf("exact tie certified: %v K=%d", digits, k)
+	}
+}
+
+func TestTinyAndHugeN(t *testing.T) {
+	// n = 1 certifies broadly and agrees with the exact algorithm.
+	for _, v := range []float64{1, 2, 9.5, 0.55, 123456.789} {
+		digits, k, ok := TryFixed(v, 1)
+		if !ok {
+			continue
+		}
+		exact, err := core.FixedFormatRelative(fpformat.DecodeFloat64(v), 10, core.ReaderUnknown, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.NSig == 1 && (k != exact.K || !equal(digits, exact.Digits)) {
+			t.Fatalf("n=1 mismatch for %g", v)
+		}
+	}
+}

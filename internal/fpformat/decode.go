@@ -1,0 +1,119 @@
+package fpformat
+
+import (
+	"fmt"
+	"math"
+
+	"floatprint/internal/bignat"
+)
+
+// DecodeFloat64 decodes v into the paper's (f, e) form under Binary64.
+func DecodeFloat64(v float64) Value {
+	return decodeBits64(math.Float64bits(v), Binary64)
+}
+
+// DecodeFloat32 decodes v into the paper's (f, e) form under Binary32.
+func DecodeFloat32(v float32) Value {
+	return decodeBits64(uint64(math.Float32bits(v)), Binary32)
+}
+
+// DecodeBits decodes an IEEE interchange bit pattern of at most 64 bits
+// (binary16, binary32, binary64) for the given format.
+func (f *Format) DecodeBits(bits uint64) (Value, error) {
+	if f.ExpBits == 0 || !f.HiddenBit || f.ExpBits+f.MantBits+1 > 64 {
+		return Value{}, fmt.Errorf("fpformat: %s has no 64-bit IEEE encoding", f.Name)
+	}
+	return decodeBits64(bits, f), nil
+}
+
+// decodeBits64 splits a hidden-bit IEEE encoding into sign, biased exponent,
+// and mantissa, then applies the paper's Section 2.1 rules:
+//
+//	1 <= be <= maxBE-1: normalized, v = ±(2^mantBits + m) × 2^(be-bias)
+//	be == 0:            denormalized (including ±0), v = ±m × 2^MinExp
+//	be == maxBE:        ±Inf if m == 0, NaN otherwise
+func decodeBits64(bits uint64, f *Format) Value {
+	mantMask := uint64(1)<<f.MantBits - 1
+	expMask := uint64(1)<<f.ExpBits - 1
+	m := bits & mantMask
+	be := (bits >> f.MantBits) & expMask
+	neg := bits>>(f.MantBits+f.ExpBits)&1 == 1
+
+	switch {
+	case be == expMask:
+		if m == 0 {
+			return Value{Fmt: f, Class: Inf, Neg: neg}
+		}
+		return Value{Fmt: f, Class: NaN, Neg: neg}
+	case be == 0:
+		if m == 0 {
+			return Value{Fmt: f, Class: Zero, Neg: neg}
+		}
+		return Value{Fmt: f, Class: Denormal, Neg: neg, F: bignat.FromUint64(m), E: f.MinExp}
+	}
+	frac := m | 1<<f.MantBits // restore the hidden bit
+	// be == 1 corresponds to e == MinExp for normalized values.
+	e := f.MinExp + int(be) - 1
+	return Value{Fmt: f, Class: Normal, Neg: neg, F: bignat.FromUint64(frac), E: e}
+}
+
+// EncodeBits is the inverse of DecodeBits for finite values; it returns the
+// IEEE bit pattern for v, which must belong to a hidden-bit format of at
+// most 64 bits.
+func EncodeBits(v Value) (uint64, error) {
+	f := v.Fmt
+	if f.ExpBits == 0 || !f.HiddenBit || f.ExpBits+f.MantBits+1 > 64 {
+		return 0, fmt.Errorf("fpformat: %s has no 64-bit IEEE encoding", f.Name)
+	}
+	var bits uint64
+	if v.Neg {
+		bits = 1 << (f.MantBits + f.ExpBits)
+	}
+	switch v.Class {
+	case Zero:
+		return bits, nil
+	case Inf:
+		return bits | (uint64(1)<<f.ExpBits-1)<<f.MantBits, nil
+	case NaN:
+		return bits | (uint64(1)<<f.ExpBits-1)<<f.MantBits | 1<<(f.MantBits-1), nil
+	}
+	fu, ok := v.F.Uint64()
+	if !ok {
+		return 0, fmt.Errorf("fpformat: mantissa too wide for %s", f.Name)
+	}
+	if v.Class == Denormal || (v.E == f.MinExp && fu < 1<<f.MantBits) {
+		if v.E != f.MinExp {
+			return 0, fmt.Errorf("fpformat: denormal with e=%d != MinExp", v.E)
+		}
+		return bits | fu, nil
+	}
+	be := uint64(v.E - f.MinExp + 1)
+	if be >= uint64(1)<<f.ExpBits-1 {
+		return 0, fmt.Errorf("fpformat: exponent %d overflows %s", v.E, f.Name)
+	}
+	return bits | be<<f.MantBits | fu&(1<<f.MantBits-1), nil
+}
+
+// Float64 converts a finite Binary64 Value back to a float64.
+func (v Value) Float64() (float64, error) {
+	if v.Fmt != Binary64 {
+		return 0, fmt.Errorf("fpformat: Float64 on %s value", v.Fmt.Name)
+	}
+	bits, err := EncodeBits(v)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// Float32 converts a finite Binary32 Value back to a float32.
+func (v Value) Float32() (float32, error) {
+	if v.Fmt != Binary32 {
+		return 0, fmt.Errorf("fpformat: Float32 on %s value", v.Fmt.Name)
+	}
+	bits, err := EncodeBits(v)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float32frombits(uint32(bits)), nil
+}

@@ -1,0 +1,48 @@
+// Package gay implements David Gay's scaling-factor estimator (reference
+// [2] of Burger & Dybvig; the same estimate appears in his widely used
+// dtoa.c).  The paper compares its own two-flop estimator against Gay's
+// five-flop first-degree-Taylor estimate: Gay's is more accurate (almost
+// always exact), Burger & Dybvig's is cheaper and its occasional off-by-one
+// costs nothing thanks to the penalty-free fixup.  This package exists for
+// that ablation (DESIGN.md, Ablation A).
+package gay
+
+import "math"
+
+// log10of2 and related constants are those used in dtoa.c.
+const (
+	log10of2   = 0.301029995663981195 // log10(2)
+	invLn10    = 0.434294481903251828 // 1/ln(10) — slope of the Taylor term
+	taylorBias = 0.1760912590558      // log10(1.5)
+)
+
+// EstimateLog10 returns Gay's estimate of ⌊log10(v)⌋ for a positive finite
+// v, using the first-degree Taylor series of log10 around 1.5 applied to
+// the fraction part, plus the exponent contribution:
+//
+//	log10(m·2ᵉ) ≈ (m − 1.5)/(1.5·ln 10) + log10(1.5) + e·log10(2)
+//
+// Five floating-point operations, as the paper notes.  The estimate is
+// within one of the true value; dtoa.c corrects downward cases with a
+// follow-up check, as does the harness that benchmarks this estimator.
+func EstimateLog10(v float64) int {
+	m, e := math.Frexp(v) // v = m·2ᵉ, m ∈ [0.5, 1)
+	// Rebase to m' ∈ [1, 2) as dtoa does: v = m'·2^(e−1).
+	m *= 2
+	e--
+	est := (m-1.5)*(invLn10/1.5) + taylorBias + float64(e)*log10of2
+	return int(math.Floor(est))
+}
+
+// EstimateCeilLog10 adapts the estimate to the quantity the printing
+// algorithm needs, ⌈log10(v)⌉-style scale factors, with the paper's guard
+// constant subtracted.  Note that unlike Burger & Dybvig's floor-based
+// estimate this one can overshoot by one (the tangent line lies above the
+// concave logarithm), so a scaler using it needs the two-sided fixup.
+func EstimateCeilLog10(v float64) int {
+	m, e := math.Frexp(v)
+	m *= 2
+	e--
+	est := (m-1.5)*(invLn10/1.5) + taylorBias + float64(e)*log10of2
+	return int(math.Ceil(est - 1e-10))
+}

@@ -1,0 +1,97 @@
+package gay
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"floatprint/internal/schryer"
+)
+
+// floorLog10 returns the exact ⌊log10 v⌋ via strconv's scientific
+// rendering (math.Log10 flushes subnormals on some platforms, so it cannot
+// serve as the oracle here).
+func floorLog10(v float64) int {
+	s := strconv.FormatFloat(v, 'e', 17, 64)
+	_, expStr, _ := strings.Cut(s, "e")
+	e, _ := strconv.Atoi(expStr)
+	return e
+}
+
+func TestEstimateLog10WithinOne(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		est := EstimateLog10(v)
+		truth := floorLog10(v)
+		if d := est - truth; d < -1 || d > 1 {
+			t.Fatalf("EstimateLog10(%g) = %d, truth %d", v, est, truth)
+		}
+	}
+}
+
+func TestEstimateLog10Denormals(t *testing.T) {
+	for bits := uint64(1); bits < 1<<52; bits = bits*5 + 3 {
+		v := math.Float64frombits(bits)
+		est := EstimateLog10(v)
+		truth := floorLog10(v)
+		if d := est - truth; d < -1 || d > 1 {
+			t.Fatalf("EstimateLog10(denormal %g) = %d, truth %d", v, est, truth)
+		}
+	}
+}
+
+func TestEstimateLog10MostlyExact(t *testing.T) {
+	// Gay's estimate is "almost always" exact — require > 90% on the
+	// Schryer corpus (the tangent-line bias costs accuracy near binade
+	// edges).
+	corpus := schryer.CorpusN(50000)
+	exact := 0
+	for _, v := range corpus {
+		if EstimateLog10(v) == floorLog10(v) {
+			exact++
+		}
+	}
+	if exact*100 < len(corpus)*90 {
+		t.Fatalf("Gay estimate exact on only %d/%d", exact, len(corpus))
+	}
+	t.Logf("Gay estimate exact on %d of %d (%.2f%%)", exact, len(corpus),
+		100*float64(exact)/float64(len(corpus)))
+}
+
+func TestEstimateCeilLog10WithinOne(t *testing.T) {
+	for _, v := range schryer.CorpusN(50000) {
+		est := EstimateCeilLog10(v)
+		// ceil(log10 v) is floorLog10+1 except at exact powers of ten
+		// (which cannot occur in the corpus's binary patterns beyond 1).
+		truth := floorLog10(v) + 1
+		if v == 1 {
+			truth = 0
+		}
+		if d := est - truth; d < -1 || d > 1 {
+			t.Fatalf("EstimateCeilLog10(%g) = %d, truth %d", v, est, truth)
+		}
+	}
+}
+
+func TestEstimateKnownValues(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{1, 0}, {10, 1}, {0.1, -1}, {1e100, 100}, {1e-100, -100},
+		// 9.99 shows the tangent-line overestimate: the raw estimate says
+		// 1 where the truth is 0 — exactly why dtoa.c re-checks.
+		{9.99, 1},
+	}
+	for _, c := range cases {
+		if got := EstimateLog10(c.v); got != c.want {
+			t.Errorf("EstimateLog10(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

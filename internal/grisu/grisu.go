@@ -1,0 +1,275 @@
+// Package grisu implements a Grisu3-style certified fast path for
+// free-format (shortest) printing of float64 values in base 10.
+//
+// Grisu (Loitsch, PLDI 2010) is the best-known successor to Burger &
+// Dybvig's algorithm: it generates the shortest digits using only 64-bit
+// fixed-point arithmetic scaled by a precomputed power of ten, tracking
+// explicit error bounds; when the bounds cannot certify that the digits
+// are the correct shortest form it *fails*, and the caller falls back to
+// the exact big-integer algorithm — here, internal/core.FreeFormat.  This
+// package exists as the repository's "follow-on work" chapter: the same
+// shortest-output specification, two implementations, one fast and
+// partial, one exact and total.
+//
+// A certified result is the shortest digit string lying strictly inside
+// the rounding range with margin, which makes it valid — and identical to
+// the exact algorithm's output — under every reader rounding mode: any
+// case where an endpoint-exact (shorter or tie) answer exists fails
+// certification by construction.
+package grisu
+
+import (
+	"math"
+	"math/bits"
+
+	"floatprint/internal/extfloat"
+)
+
+// Target binary exponent window for the scaled values, as in Grisu3: with
+// e in [-60, -32] the integral part of the scaled boundary fits 32 bits
+// and the fixed-point arithmetic below cannot overflow.
+const (
+	minTargetExp = -60
+	maxTargetExp = -32
+)
+
+// Shortest attempts the shortest base-10 conversion of v > 0.
+// On ok, digits are the digit values and K the scale (V = 0.d₁…dₙ × 10ᴷ).
+func Shortest(v float64) (digits []byte, k int, ok bool) {
+	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil, 0, false
+	}
+	w, low, high := normalizedBoundaries(v)
+	return shortestFrom(w, low, high)
+}
+
+// shortestFrom runs the scaled digit generation for pre-computed aligned
+// boundaries (shared by the float64 and float32 entry points).
+func shortestFrom(w, low, high extfloat.Ext) (digits []byte, k int, ok bool) {
+	// Pick a power of ten whose product lands in the target window.
+	mk, c, ok := cachedPowerFor(high.E + 64)
+	if !ok {
+		return nil, 0, false
+	}
+	scaledW := times(w, c)
+	scaledLow := times(low, c)
+	scaledHigh := times(high, c)
+
+	var buf [20]byte
+	length, kappa, ok := digitGen(scaledLow, scaledW, scaledHigh, buf[:])
+	if !ok {
+		return nil, 0, false
+	}
+	de := -mk + kappa // value = buffer × 10^de
+	out := make([]byte, length)
+	copy(out, buf[:length]) // digit values, not ASCII
+	// The shortest form never needs trailing zeros; defensively trim any
+	// (K is unaffected: 0.d₁…dₙ0 × 10ᴷ = 0.d₁…dₙ × 10ᴷ).
+	n := length
+	for n > 1 && out[n-1] == 0 {
+		n--
+	}
+	return out[:n], length + de, true
+}
+
+// Shortest32 is Shortest for float32 values: the narrower rounding range
+// (half a float32 ulp) yields correspondingly shorter digits.
+func Shortest32(v float32) (digits []byte, k int, ok bool) {
+	if v <= 0 || math.IsInf(float64(v), 0) || v != v {
+		return nil, 0, false
+	}
+	bits32 := math.Float32bits(v)
+	mant := uint64(bits32 & (1<<23 - 1))
+	be := int(bits32 >> 23 & 0xff)
+	var f uint64
+	var e int
+	if be == 0 {
+		f, e = mant, -149
+	} else {
+		f, e = mant|1<<23, be-150
+	}
+	w, low, high := boundariesFromParts(f, e, mant == 0 && be > 1)
+	return shortestFrom(w, low, high)
+}
+
+// normalizedBoundaries decodes v into the normalized significand w and the
+// rounding-range endpoints low = (v⁻+v)/2 and high = (v+v⁺)/2, all three
+// exact and sharing one binary exponent.
+func normalizedBoundaries(v float64) (w, low, high extfloat.Ext) {
+	bits64 := math.Float64bits(v)
+	mant := bits64 & (1<<52 - 1)
+	be := int(bits64 >> 52 & 0x7ff)
+
+	var f uint64
+	var e int
+	if be == 0 { // denormal
+		f, e = mant, -1074
+	} else {
+		f, e = mant|1<<52, be-1075
+	}
+	return boundariesFromParts(f, e, mant == 0 && be > 1)
+}
+
+// boundariesFromParts builds w and the aligned boundaries for any binary
+// format's (f, e) pair; lowerIsCloser marks binade-boundary values whose
+// predecessor gap is half-size.
+func boundariesFromParts(f uint64, e int, lowerIsCloser bool) (w, low, high extfloat.Ext) {
+	// high = (2f+1)·2^(e−1).
+	plus := normalize(2*f+1, e-1)
+	var minus extfloat.Ext
+	if lowerIsCloser {
+		minus = extfloat.Ext{M: 4*f - 1, E: e - 2}
+	} else {
+		minus = extfloat.Ext{M: 2*f - 1, E: e - 1}
+	}
+	// Align everything to plus's exponent (exact: the values are within a
+	// factor of two of each other).
+	minus.M <<= uint(minus.E - plus.E)
+	minus.E = plus.E
+	w = normalize(f, e)
+	w.M <<= uint(w.E - plus.E)
+	w.E = plus.E
+	return w, minus, plus
+}
+
+func normalize(f uint64, e int) extfloat.Ext {
+	s := bits.LeadingZeros64(f)
+	return extfloat.Ext{M: f << s, E: e - s}
+}
+
+// times is the DiyFp product: round the 128-bit product to its top word
+// WITHOUT renormalizing, so operands with equal exponents keep equal
+// result exponents (required by the fixed-point comparisons in digitGen).
+func times(a, b extfloat.Ext) extfloat.Ext {
+	hi, lo := bits.Mul64(a.M, b.M)
+	return extfloat.Ext{M: hi + lo>>63, E: a.E + b.E + 64}
+}
+
+// cachedPowerFor returns k and the rounded power 10ᵏ whose binary
+// exponent puts scaledExp + e(10ᵏ) into the target window.
+func cachedPowerFor(scaledExp int) (k int, c extfloat.Ext, ok bool) {
+	// e(10^k) ≈ k·log2(10) − 63; solve for the window floor and adjust.
+	k = int(math.Ceil(float64(minTargetExp-scaledExp+63) / 3.3219280948873626))
+	for i := 0; i < 4; i++ {
+		if k < -340 || k > 340 {
+			return 0, extfloat.Ext{}, false
+		}
+		c = extfloat.Pow10(k)
+		// scaledExp already carries the +64 of the product.
+		got := scaledExp + c.E
+		switch {
+		case got < minTargetExp:
+			k++
+		case got > maxTargetExp:
+			k--
+		default:
+			return k, c, true
+		}
+	}
+	return 0, extfloat.Ext{}, false
+}
+
+// digitGen generates the shortest digits of a value in (low, high) as
+// close to w as certifiable, following Grisu3's DigitGen.  All inputs
+// share one exponent in the target window.  It writes digit values into
+// buf and reports the length and the decimal exponent offset kappa.
+func digitGen(low, w, high extfloat.Ext, buf []byte) (length, kappa int, ok bool) {
+	unit := uint64(1)
+	tooLowF := low.M - unit
+	tooHighF := high.M + unit
+	// unsafeInterval spans (tooLow, tooHigh): anything strictly inside is
+	// guaranteed inside the true rounding range.
+	unsafeInterval := tooHighF - tooLowF
+	oneF := uint64(1) << uint(-w.E)
+	oneMask := oneF - 1
+	integrals := uint32(tooHighF >> uint(-w.E))
+	fractionals := tooHighF & oneMask
+
+	divisor, kappa := biggestPowerTen(integrals)
+	distanceTooHighW := tooHighF - w.M
+
+	for kappa > 0 {
+		digit := integrals / divisor
+		buf[length] = byte(digit)
+		length++
+		integrals %= divisor
+		kappa--
+		rest := uint64(integrals)<<uint(-w.E) + fractionals
+		if rest < unsafeInterval {
+			return length, kappa, roundWeed(buf, length, distanceTooHighW,
+				unsafeInterval, rest, uint64(divisor)<<uint(-w.E), unit)
+		}
+		divisor /= 10
+	}
+
+	for {
+		fractionals *= 10
+		unit *= 10
+		unsafeInterval *= 10
+		digit := byte(fractionals >> uint(-w.E))
+		buf[length] = digit
+		length++
+		fractionals &= oneMask
+		kappa--
+		if fractionals < unsafeInterval {
+			return length, kappa, roundWeed(buf, length, distanceTooHighW*unit,
+				unsafeInterval, fractionals, oneF, unit)
+		}
+		if length >= len(buf) || unit > 1<<58 {
+			return 0, 0, false // cannot certify within the margin budget
+		}
+	}
+}
+
+// roundWeed adjusts the last digit toward w and certifies the result: it
+// returns false whenever the ±unit error margins could change either the
+// digit choice or the in-range property (Grisu3's RoundWeed).
+func roundWeed(buf []byte, length int, distanceTooHighW, unsafeInterval, rest, tenKappa, unit uint64) bool {
+	smallDistance := distanceTooHighW - unit
+	bigDistance := distanceTooHighW + unit
+	// Walk the candidate down toward w while it provably gets closer and
+	// stays above the low boundary.
+	for rest < smallDistance && unsafeInterval-rest >= tenKappa &&
+		(rest+tenKappa < smallDistance ||
+			smallDistance-rest >= rest+tenKappa-smallDistance) {
+		buf[length-1]--
+		rest += tenKappa
+	}
+	// If the enlarged margin would have walked further, the choice is
+	// ambiguous: fail.
+	if rest < bigDistance && unsafeInterval-rest >= tenKappa &&
+		(rest+tenKappa < bigDistance ||
+			bigDistance-rest > rest+tenKappa-bigDistance) {
+		return false
+	}
+	// Keep safely inside the unsafe interval: 2 units off the high end
+	// (we started from tooHigh) and 4 off the low end.
+	return 2*unit <= rest && rest <= unsafeInterval-4*unit
+}
+
+// biggestPowerTen returns the largest power of ten not exceeding number
+// (a 32-bit integral part) and its exponent plus one.
+func biggestPowerTen(number uint32) (power uint32, exponentPlusOne int) {
+	switch {
+	case number >= 1000000000:
+		return 1000000000, 10
+	case number >= 100000000:
+		return 100000000, 9
+	case number >= 10000000:
+		return 10000000, 8
+	case number >= 1000000:
+		return 1000000, 7
+	case number >= 100000:
+		return 100000, 6
+	case number >= 10000:
+		return 10000, 5
+	case number >= 1000:
+		return 1000, 4
+	case number >= 100:
+		return 100, 3
+	case number >= 10:
+		return 10, 2
+	default:
+		return 1, 1
+	}
+}

@@ -1,0 +1,280 @@
+package grisu
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"floatprint/internal/core"
+	"floatprint/internal/fpformat"
+	"floatprint/internal/schryer"
+)
+
+func digitsString(digits []byte) string {
+	var sb strings.Builder
+	for _, d := range digits {
+		sb.WriteByte('0' + d)
+	}
+	return sb.String()
+}
+
+// TestCertifiedMatchesExactEveryMode is the central safety property: when
+// Shortest certifies, its output must be byte-identical to the exact
+// Burger-Dybvig result under EVERY reader mode (certification implies no
+// endpoint-exact shorter form exists, so all modes agree).
+func TestCertifiedMatchesExactEveryMode(t *testing.T) {
+	modes := []core.ReaderMode{
+		core.ReaderUnknown, core.ReaderNearestEven,
+		core.ReaderNearestAway, core.ReaderNearestTowardZero,
+	}
+	certified, tried := 0, 0
+	check := func(v float64) {
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return
+		}
+		tried++
+		digits, k, ok := Shortest(v)
+		if !ok {
+			return
+		}
+		certified++
+		val := fpformat.DecodeFloat64(v)
+		for _, mode := range modes {
+			exact, err := core.FreeFormat(val, 10, core.ScalingEstimate, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if digitsString(digits) != digitsString(exact.Digits) || k != exact.K {
+				t.Fatalf("grisu(%g) = %q K=%d; exact (%v) = %q K=%d",
+					v, digitsString(digits), k, mode, digitsString(exact.Digits), exact.K)
+			}
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 30000; i++ {
+		check(math.Abs(math.Float64frombits(r.Uint64())))
+	}
+	for _, v := range schryer.CorpusN(20000) {
+		check(v)
+	}
+	for _, v := range []float64{
+		1, 0.5, 0.1, 0.3, math.Pi, 1e23, 5e-324, math.MaxFloat64,
+		0x1p-1022, math.Nextafter(1, 2), math.Nextafter(1, 0),
+	} {
+		check(v)
+	}
+	if certified == 0 {
+		t.Fatal("grisu never certified anything")
+	}
+	rate := float64(certified) / float64(tried)
+	if rate < 0.95 {
+		t.Errorf("grisu certification rate %.2f%% is too low", 100*rate)
+	}
+	t.Logf("certified %d of %d (%.2f%%)", certified, tried, 100*rate)
+}
+
+func TestEndpointCasesFail(t *testing.T) {
+	// 1e23 sits exactly on its high midpoint: the nearest-even answer is
+	// the one-digit endpoint form, which grisu cannot certify.
+	if _, _, ok := Shortest(1e23); ok {
+		t.Errorf("grisu certified 1e23, which requires endpoint handling")
+	}
+}
+
+func TestRoundTripFloat32Sweep(t *testing.T) {
+	// Certified results must round-trip; sweep float64 values derived from
+	// a float32 stratification for exponent coverage.
+	for bits := uint32(1); bits < 1<<31; bits += 0x20011 {
+		v := float64(math.Float32frombits(bits))
+		if math.IsInf(v, 0) || math.IsNaN(v) || v <= 0 {
+			continue
+		}
+		digits, k, ok := Shortest(v)
+		if !ok {
+			continue
+		}
+		s := "0." + digitsString(digits) + "e" + strconv.Itoa(k)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil || back != v {
+			t.Fatalf("grisu(%g) = %q does not round-trip (%v)", v, s, err)
+		}
+	}
+}
+
+func TestRejectsNonPositive(t *testing.T) {
+	for _, v := range []float64{0, -1, math.Inf(1), math.Inf(-1), math.NaN()} {
+		if _, _, ok := Shortest(v); ok {
+			t.Errorf("Shortest(%v) certified", v)
+		}
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	cases := []struct {
+		v      float64
+		digits string
+		k      int
+	}{
+		{0.3, "3", 0},
+		{math.Pi, "3141592653589793", 1},
+		{1234.5678, "12345678", 4},
+	}
+	for _, c := range cases {
+		digits, k, ok := Shortest(c.v)
+		if !ok {
+			t.Errorf("Shortest(%g) failed to certify", c.v)
+			continue
+		}
+		if digitsString(digits) != c.digits || k != c.k {
+			t.Errorf("Shortest(%g) = %q K=%d, want %q K=%d",
+				c.v, digitsString(digits), k, c.digits, c.k)
+		}
+	}
+}
+
+func TestBiggestPowerTen(t *testing.T) {
+	cases := []struct {
+		n    uint32
+		pow  uint32
+		expP int
+	}{
+		{0, 1, 1}, {1, 1, 1}, {9, 1, 1}, {10, 10, 2}, {99, 10, 2},
+		{100, 100, 3}, {4294967295, 1000000000, 10},
+	}
+	for _, c := range cases {
+		p, e := biggestPowerTen(c.n)
+		if p != c.pow || e != c.expP {
+			t.Errorf("biggestPowerTen(%d) = %d, %d; want %d, %d", c.n, p, e, c.pow, c.expP)
+		}
+	}
+}
+
+func TestDenormalsEitherCertifyCorrectlyOrFail(t *testing.T) {
+	for bitsv := uint64(1); bitsv < 1<<52; bitsv = bitsv*7 + 5 {
+		v := math.Float64frombits(bitsv)
+		digits, k, ok := Shortest(v)
+		if !ok {
+			continue
+		}
+		want := strconv.FormatFloat(v, 'e', -1, 64)
+		s := "0." + digitsString(digits) + "e" + strconv.Itoa(k)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil || back != v {
+			t.Fatalf("denormal grisu(%g) = %q (strconv %q) round-trip failed", v, s, want)
+		}
+	}
+}
+
+func BenchmarkGrisuShortest(b *testing.B) {
+	corpus := schryer.CorpusN(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shortest(corpus[i%len(corpus)])
+	}
+}
+
+// BenchmarkShortestWithFallback is the deployment configuration: grisu
+// when certified, exact Burger-Dybvig otherwise.
+func BenchmarkShortestWithFallback(b *testing.B) {
+	corpus := schryer.CorpusN(4096)
+	values := make([]fpformat.Value, len(corpus))
+	for i, f := range corpus {
+		values[i] = fpformat.DecodeFloat64(f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := Shortest(corpus[i%len(corpus)]); !ok {
+			if _, err := core.FreeFormat(values[i%len(values)], 10, core.ScalingEstimate, core.ReaderNearestEven); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkShortestExactOnly(b *testing.B) {
+	corpus := schryer.CorpusN(4096)
+	values := make([]fpformat.Value, len(corpus))
+	for i, f := range corpus {
+		values[i] = fpformat.DecodeFloat64(f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FreeFormat(values[i%len(values)], 10, core.ScalingEstimate, core.ReaderNearestEven); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestShortest32MatchesStrconv sweeps the float32 space stratified and
+// requires certified results to equal strconv's 32-bit shortest form
+// (tolerating exact-tie divergence, where both forms are valid).
+func TestShortest32MatchesStrconv(t *testing.T) {
+	certified, tried := 0, 0
+	for bits := uint32(1); bits < 1<<31; bits += 0x0611 {
+		v := math.Float32frombits(bits)
+		if v != v || math.IsInf(float64(v), 0) || v <= 0 {
+			continue
+		}
+		tried++
+		digits, k, ok := Shortest32(v)
+		if !ok {
+			continue
+		}
+		certified++
+		s := strconv.FormatFloat(float64(v), 'e', -1, 32)
+		mant, expStr, _ := strings.Cut(s, "e")
+		exp, _ := strconv.Atoi(expStr)
+		want := strings.TrimRight(strings.Replace(mant, ".", "", 1), "0")
+		if want == "" {
+			want = "0"
+		}
+		if digitsString(digits) == want && k == exp+1 {
+			continue
+		}
+		// Exact ties: both must round-trip and have equal length.
+		ours := "0." + digitsString(digits) + "e" + strconv.Itoa(k)
+		back, err := strconv.ParseFloat(ours, 32)
+		if err != nil || float32(back) != v || len(digitsString(digits)) != len(want) {
+			t.Fatalf("grisu32(%g) = %q K=%d, strconv %q K=%d", v, digitsString(digits), k, want, exp+1)
+		}
+	}
+	if certified*100 < tried*95 {
+		t.Errorf("float32 certification rate too low: %d/%d", certified, tried)
+	}
+	t.Logf("float32: certified %d of %d (%.2f%%)", certified, tried, 100*float64(certified)/float64(tried))
+}
+
+func TestShortest32MatchesExactCore(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 20000; i++ {
+		v := math.Float32frombits(r.Uint32())
+		if v != v || math.IsInf(float64(v), 0) || v <= 0 {
+			continue
+		}
+		digits, k, ok := Shortest32(v)
+		if !ok {
+			continue
+		}
+		exact, err := core.FreeFormat(fpformat.DecodeFloat32(v), 10, core.ScalingEstimate, core.ReaderNearestEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digitsString(digits) != digitsString(exact.Digits) || k != exact.K {
+			t.Fatalf("grisu32(%g) = %q K=%d, exact %q K=%d",
+				v, digitsString(digits), k, digitsString(exact.Digits), exact.K)
+		}
+	}
+}
+
+func TestShortest32Rejects(t *testing.T) {
+	for _, v := range []float32{0, -1, float32(math.Inf(1)), float32(math.NaN())} {
+		if _, _, ok := Shortest32(v); ok {
+			t.Errorf("Shortest32(%v) certified", v)
+		}
+	}
+}

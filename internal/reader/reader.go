@@ -1,0 +1,185 @@
+// Package reader implements correctly rounded floating-point *input*: the
+// inverse of the printing algorithm, in the spirit of Clinger's "How to
+// Read Floating-Point Numbers Accurately" (reference [1] of Burger &
+// Dybvig).  Given a digit string in any base 2..36 it produces the
+// floating-point value of a target format nearest the exact rational value
+// of the string, under a selectable tie-breaking rule.
+//
+// The printing paper leans on the existence of such a reader twice: the
+// free-format output is defined by what an accurate reader recovers, and
+// the reader's rounding mode determines whether the rounding-range
+// endpoints are admissible outputs.  This package lets the tests close
+// that loop for every mode without relying on strconv (which only reads
+// base 10 with ties-to-even).
+//
+// The implementation uses exact big-integer arithmetic throughout — the
+// scaled comparison approach of Clinger's AlgorithmM — so results are
+// correctly rounded for all inputs, at the cost of speed on huge exponents.
+package reader
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"floatprint/internal/bignat"
+	"floatprint/internal/fpformat"
+)
+
+// RoundMode selects how a value exactly halfway between two representable
+// numbers is rounded.  The names correspond to the printer's ReaderMode
+// values: a printer told the reader uses mode M is only honest if the
+// reader really does.
+type RoundMode int
+
+const (
+	// NearestEven rounds ties to the candidate with an even mantissa
+	// (IEEE 754 round-to-nearest default).
+	NearestEven RoundMode = iota
+	// NearestAway rounds ties away from zero.
+	NearestAway
+	// NearestTowardZero rounds ties toward zero.
+	NearestTowardZero
+)
+
+func (m RoundMode) String() string {
+	switch m {
+	case NearestEven:
+		return "nearest-even"
+	case NearestAway:
+		return "nearest-away"
+	case NearestTowardZero:
+		return "nearest-toward-zero"
+	}
+	return fmt.Sprintf("RoundMode(%d)", int(m))
+}
+
+// ErrRange reports that a parsed value overflows the target format; the
+// returned value is ±Inf as IEEE prescribes.
+var ErrRange = errors.New("reader: value out of range")
+
+// Number is an unrounded textual number: ±0.d₁…dₙ × Bᴷ, mirroring the
+// printer's Result so printed output can be fed straight back in.
+type Number struct {
+	Neg    bool
+	Digits []byte // digit values 0..Base-1
+	Base   int
+	K      int
+}
+
+// Convert rounds the exact rational value of n to the nearest value of
+// format f under the given rounding mode.  Overflow returns ±Inf and
+// ErrRange; underflow rounds through the denormal range to ±0.
+func Convert(n Number, f *fpformat.Format, mode RoundMode) (fpformat.Value, error) {
+	if n.Base < 2 || n.Base > 36 {
+		return fpformat.Value{}, fmt.Errorf("reader: base %d out of range [2,36]", n.Base)
+	}
+	// Accumulate the digits into one integer D, so the value is
+	// D × Base^(K−len).
+	d := bignat.Nat(nil)
+	for _, dig := range n.Digits {
+		if int(dig) >= n.Base {
+			return fpformat.Value{}, fmt.Errorf("reader: digit %d out of range for base %d", dig, n.Base)
+		}
+		d = bignat.MulAddWord(d, bignat.Word(n.Base), bignat.Word(dig))
+	}
+	if d.IsZero() {
+		return fpformat.Value{Fmt: f, Class: fpformat.Zero, Neg: n.Neg}, nil
+	}
+	exp := n.K - len(n.Digits)
+
+	// Exact rational x = num/den.
+	num, den := d, bignat.Nat{1}
+	if exp >= 0 {
+		num = bignat.Mul(num, bignat.PowUint(uint64(n.Base), uint(exp)))
+	} else {
+		den = bignat.PowUint(uint64(n.Base), uint(-exp))
+	}
+	return roundRational(num, den, n.Neg, f, mode)
+}
+
+// roundRational returns the value of format f nearest num/den (> 0).
+func roundRational(num, den bignat.Nat, neg bool, f *fpformat.Format, mode RoundMode) (fpformat.Value, error) {
+	b := uint64(f.Base)
+	// Estimate e with floor(log_b(x)) − (p−1) from the bit lengths, then
+	// correct by iteration; the estimate is within a couple of units.
+	logBx := float64(num.BitLen()-den.BitLen()) * math.Ln2 / math.Log(float64(f.Base))
+	e := int(math.Floor(logBx)) - (f.Precision - 1)
+	if e < f.MinExp {
+		e = f.MinExp
+	}
+
+	lo := bignat.PowUint(b, uint(f.Precision-1))
+	hi := bignat.PowUint(b, uint(f.Precision))
+	for {
+		// q = floor(x / bᵉ), computed exactly.  The binade — and therefore
+		// the rounding grain — is chosen from the floor, NOT the rounded
+		// value: a number just below b^(p−1)·bᵉ lives in the finer-grained
+		// binade below even if rounding would carry it up.
+		sNum, sDen := num, den
+		if e > 0 {
+			sDen = bignat.Mul(sDen, bignat.PowUint(b, uint(e)))
+		} else if e < 0 {
+			sNum = bignat.Mul(sNum, bignat.PowUint(b, uint(-e)))
+		}
+		q, rem := bignat.DivMod(sNum, sDen)
+		if bignat.Cmp(q, hi) >= 0 {
+			// Floor at or above b^p: grain too fine, raise e.
+			e++
+			if e > f.MaxExp {
+				return fpformat.Value{Fmt: f, Class: fpformat.Inf, Neg: neg}, ErrRange
+			}
+			continue
+		}
+		if bignat.Cmp(q, lo) < 0 && e > f.MinExp {
+			// Floor below b^(p−1): the value belongs to a finer binade.
+			e--
+			continue
+		}
+
+		m := roundQuotient(q, rem, sDen, mode)
+		if bignat.Cmp(m, hi) >= 0 {
+			// Rounding carried into the next binade: the value is exactly
+			// bᵖ·bᵉ = b^(p−1)·b^(e+1).
+			m = lo
+			e++
+		}
+		if m.IsZero() {
+			// Underflow to zero (only possible at e == MinExp).
+			return fpformat.Value{Fmt: f, Class: fpformat.Zero, Neg: neg}, nil
+		}
+		if e > f.MaxExp {
+			return fpformat.Value{Fmt: f, Class: fpformat.Inf, Neg: neg}, ErrRange
+		}
+		class := fpformat.Normal
+		if bignat.Cmp(m, lo) < 0 {
+			class = fpformat.Denormal
+		}
+		return fpformat.Value{Fmt: f, Class: class, Neg: neg, F: m, E: e}, nil
+	}
+}
+
+// roundQuotient rounds q + rem/den to an integer under mode.
+func roundQuotient(q, rem, den bignat.Nat, mode RoundMode) bignat.Nat {
+	if rem.IsZero() {
+		return q
+	}
+	switch bignat.Cmp(bignat.Shl(rem, 1), den) {
+	case -1:
+		return q
+	case 1:
+		return bignat.AddWord(q, 1)
+	}
+	// Exact tie.
+	switch mode {
+	case NearestAway:
+		return bignat.AddWord(q, 1)
+	case NearestTowardZero:
+		return q
+	default: // NearestEven
+		if q.Bit(0) == 0 {
+			return q
+		}
+		return bignat.AddWord(q, 1)
+	}
+}

@@ -1,0 +1,273 @@
+// Package ryu implements the Ryū shortest float64-to-decimal conversion
+// (Ulf Adams, PLDI 2018) — the second-generation successor to Burger &
+// Dybvig's algorithm and the one inside Go's strconv today.
+//
+// Where Burger & Dybvig run an exact big-integer digit loop and Grisu runs
+// a certified-or-fail fixed-point loop, Ryū precomputes 128-bit slices of
+// the powers of five so that the three scaled values (the number and its
+// rounding-range boundaries) come out of a single 64×128-bit
+// multiplication each, exactly; the shortest digits then fall out of a
+// small division loop with explicit trailing-zero bookkeeping.  It is
+// total (no fallback needed) and assumes the IEEE round-to-nearest-even
+// reader, i.e. the paper's ReaderNearestEven mode.
+//
+// The power tables are generated at package init with this repository's
+// own bignat arithmetic rather than embedded as literals, and every value
+// path is differentially tested against both strconv and the exact
+// Burger & Dybvig implementation.
+package ryu
+
+import (
+	"math"
+	"math/bits"
+
+	"floatprint/internal/bignat"
+)
+
+const (
+	mantBits = 52
+	expBits  = 11
+	bias     = 1023
+
+	pow5InvBitCount = 125
+	pow5BitCount    = 125
+
+	maxPow5Inv = 291
+	maxPow5    = 326
+)
+
+// pow5Split[i] holds the top 125 bits of 5^i; pow5InvSplit[q] holds
+// floor(2^(pow5bits(q)+124)/5^q)+1.  Each entry is {lo, hi}.
+var (
+	pow5Split    [maxPow5][2]uint64
+	pow5InvSplit [maxPow5Inv][2]uint64
+)
+
+func init() {
+	for i := 0; i < maxPow5; i++ {
+		p := bignat.PowUint(5, uint(i))
+		shift := p.BitLen() - pow5BitCount
+		var top bignat.Nat
+		if shift >= 0 {
+			top = bignat.Shr(p, uint(shift))
+		} else {
+			top = bignat.Shl(p, uint(-shift))
+		}
+		pow5Split[i] = split128(top)
+	}
+	for q := 0; q < maxPow5Inv; q++ {
+		den := bignat.PowUint(5, uint(q))
+		num := bignat.Shl(bignat.Nat{1}, uint(pow5bits(q)+pow5InvBitCount-1))
+		quo, _ := bignat.DivMod(num, den)
+		quo = bignat.AddWord(quo, 1)
+		pow5InvSplit[q] = split128(quo)
+	}
+}
+
+func split128(n bignat.Nat) [2]uint64 {
+	hiNat := bignat.Shr(n, 64)
+	hi, ok := hiNat.Uint64()
+	if !ok {
+		panic("ryu: table entry exceeds 128 bits")
+	}
+	lo, _ := bignat.Sub(n, bignat.Shl(hiNat, 64)).Uint64() // n mod 2^64
+	return [2]uint64{lo, hi}
+}
+
+// pow5bits returns ceil(log2(5^e)) + 1... precisely the bit count used by
+// Ryū: floor(e·log2(5)) + 1 for 0 <= e <= 3528.
+func pow5bits(e int) int {
+	return int((uint64(e)*1217359)>>19) + 1
+}
+
+// log10Pow2 returns floor(e·log10(2)) for 0 <= e <= 1650.
+func log10Pow2(e int) int {
+	return int((uint64(e) * 78913) >> 18)
+}
+
+// log10Pow5 returns floor(e·log10(5)) for 0 <= e <= 2620.
+func log10Pow5(e int) int {
+	return int((uint64(e) * 732923) >> 20)
+}
+
+// mulShift64 returns (m × mul) >> j for a 128-bit mul, 64 < j−64 < 64+64.
+func mulShift64(m uint64, mul [2]uint64, j int) uint64 {
+	b0hi, _ := bits.Mul64(m, mul[0])
+	b2hi, b2lo := bits.Mul64(m, mul[1])
+	sumLo, carry := bits.Add64(b0hi, b2lo, 0)
+	sumHi := b2hi + carry
+	shift := uint(j - 64)
+	return sumLo>>shift | sumHi<<(64-shift)
+}
+
+func multipleOfPowerOf5(value uint64, p int) bool {
+	count := 0
+	for {
+		q := value / 5
+		r := value - 5*q
+		if r != 0 {
+			break
+		}
+		value = q
+		count++
+		if count >= p {
+			return true
+		}
+	}
+	return count >= p
+}
+
+func multipleOfPowerOf2(value uint64, p int) bool {
+	return bits.TrailingZeros64(value) >= p
+}
+
+// Shortest converts a positive finite v to its shortest decimal form under
+// a round-to-nearest-even reader, returning digit values and K with
+// V = 0.d₁…dₙ × 10ᴷ.
+func Shortest(v float64) (digits []byte, k int) {
+	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil, 0
+	}
+	b := math.Float64bits(v)
+	ieeeMantissa := b & (1<<mantBits - 1)
+	ieeeExponent := int(b >> mantBits & (1<<expBits - 1))
+
+	var m2 uint64
+	var e2 int
+	if ieeeExponent == 0 {
+		e2 = 1 - bias - mantBits - 2
+		m2 = ieeeMantissa
+	} else {
+		e2 = ieeeExponent - bias - mantBits - 2
+		m2 = 1<<mantBits | ieeeMantissa
+	}
+	even := m2&1 == 0
+	acceptBounds := even
+
+	// Step 2: boundaries as quarter-ulp integers.
+	mv := 4 * m2
+	mmShift := uint64(0)
+	if ieeeMantissa != 0 || ieeeExponent <= 1 {
+		mmShift = 1
+	}
+
+	// Step 3: scale to decimal with one table multiplication per value.
+	var vr, vp, vm uint64
+	var e10 int
+	vmIsTrailingZeros := false
+	vrIsTrailingZeros := false
+	if e2 >= 0 {
+		q := log10Pow2(e2)
+		if e2 > 3 {
+			q--
+		}
+		e10 = q
+		kk := pow5InvBitCount + pow5bits(q) - 1
+		i := -e2 + q + kk
+		vr = mulShift64(mv, pow5InvSplit[q], i)
+		vp = mulShift64(mv+2, pow5InvSplit[q], i)
+		vm = mulShift64(mv-1-mmShift, pow5InvSplit[q], i)
+		if q <= 21 {
+			switch {
+			case mv%5 == 0:
+				vrIsTrailingZeros = multipleOfPowerOf5(mv, q)
+			case acceptBounds:
+				vmIsTrailingZeros = multipleOfPowerOf5(mv-1-mmShift, q)
+			default:
+				if multipleOfPowerOf5(mv+2, q) {
+					vp--
+				}
+			}
+		}
+	} else {
+		q := log10Pow5(-e2)
+		if -e2 > 1 {
+			q--
+		}
+		e10 = q + e2
+		i := -e2 - q
+		kk := pow5bits(i) - pow5BitCount
+		j := q - kk
+		vr = mulShift64(mv, pow5Split[i], j)
+		vp = mulShift64(mv+2, pow5Split[i], j)
+		vm = mulShift64(mv-1-mmShift, pow5Split[i], j)
+		if q <= 1 {
+			vrIsTrailingZeros = true
+			if acceptBounds {
+				vmIsTrailingZeros = mmShift == 1
+			} else {
+				vp--
+			}
+		} else if q < 63 {
+			vrIsTrailingZeros = multipleOfPowerOf2(mv, q)
+		}
+	}
+
+	// Step 4: find the shortest representation in (vm, vp).
+	removed := 0
+	var lastRemovedDigit uint8
+	var out uint64
+	if vmIsTrailingZeros || vrIsTrailingZeros {
+		for vp/10 > vm/10 {
+			vmIsTrailingZeros = vmIsTrailingZeros && vm%10 == 0
+			vrIsTrailingZeros = vrIsTrailingZeros && lastRemovedDigit == 0
+			lastRemovedDigit = uint8(vr % 10)
+			vr /= 10
+			vp /= 10
+			vm /= 10
+			removed++
+		}
+		if vmIsTrailingZeros {
+			for vm%10 == 0 {
+				vrIsTrailingZeros = vrIsTrailingZeros && lastRemovedDigit == 0
+				lastRemovedDigit = uint8(vr % 10)
+				vr /= 10
+				vp /= 10
+				vm /= 10
+				removed++
+			}
+		}
+		if vrIsTrailingZeros && lastRemovedDigit == 5 && vr%2 == 0 {
+			lastRemovedDigit = 4 // exact halfway: round the digits to even
+		}
+		out = vr
+		if (vr == vm && (!acceptBounds || !vmIsTrailingZeros)) || lastRemovedDigit >= 5 {
+			out++
+		}
+	} else {
+		roundUp := false
+		if vp/100 > vm/100 {
+			roundUp = vr%100 >= 50
+			vr /= 100
+			vp /= 100
+			vm /= 100
+			removed += 2
+		}
+		for vp/10 > vm/10 {
+			roundUp = vr%10 >= 5
+			vr /= 10
+			vp /= 10
+			vm /= 10
+			removed++
+		}
+		out = vr
+		if vr == vm || roundUp {
+			out++
+		}
+	}
+	exp := e10 + removed
+
+	// Emit digit values.
+	var buf [20]byte
+	n := 0
+	for out > 0 {
+		buf[n] = byte(out % 10)
+		out /= 10
+		n++
+	}
+	digits = make([]byte, n)
+	for i := 0; i < n; i++ {
+		digits[i] = buf[n-1-i]
+	}
+	return digits, exp + n
+}

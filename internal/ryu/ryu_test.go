@@ -1,0 +1,197 @@
+package ryu
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"floatprint/internal/core"
+	"floatprint/internal/fpformat"
+	"floatprint/internal/schryer"
+)
+
+func digitsString(digits []byte) string {
+	var sb strings.Builder
+	for _, d := range digits {
+		sb.WriteByte('0' + d)
+	}
+	return sb.String()
+}
+
+// strconvDigits extracts Go's (also Ryū-based) shortest digits and K.
+func strconvDigits(v float64) (string, int) {
+	s := strconv.FormatFloat(v, 'e', -1, 64)
+	mant, expStr, _ := strings.Cut(s, "e")
+	exp, _ := strconv.Atoi(expStr)
+	d := strings.Replace(mant, ".", "", 1)
+	d = strings.TrimRight(d, "0")
+	if d == "" {
+		d = "0"
+	}
+	return d, exp + 1
+}
+
+// TestMatchesStrconvExactly: both are Ryū with identical tie handling, so
+// the outputs must agree bit-for-bit — no tie tolerance needed.
+func TestMatchesStrconvExactly(t *testing.T) {
+	check := func(v float64) {
+		t.Helper()
+		digits, k := Shortest(v)
+		wantD, wantK := strconvDigits(v)
+		if digitsString(digits) != wantD || k != wantK {
+			t.Fatalf("ryu(%g [%x]) = %q K=%d, strconv = %q K=%d",
+				v, math.Float64bits(v), digitsString(digits), k, wantD, wantK)
+		}
+	}
+	for _, v := range []float64{
+		1, 2, 0.5, 0.1, 0.3, 1.0 / 3.0, math.Pi, math.E,
+		1e23, 9.109383632e-31, 5e-324, math.MaxFloat64,
+		0x1p-1022, math.Nextafter(0x1p-1022, 0),
+		math.Nextafter(1, 2), math.Nextafter(1, 0), math.Nextafter(2, 1),
+		123456789012345680000, 1e300, 1e-300,
+		2.2250738585072011e-308, 4.35, 123e45, 1.2e-5,
+		// The float32-derived tie value from the core tests.
+		float64(math.Float32frombits(0b1000011001111010101010000000000)),
+	} {
+		check(v)
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 300000; i++ {
+		v := math.Float64frombits(r.Uint64())
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		check(math.Abs(v))
+	}
+	for _, v := range schryer.CorpusN(50000) {
+		check(v)
+	}
+}
+
+func TestMatchesStrconvDenormals(t *testing.T) {
+	for bits := uint64(1); bits < 1<<52; bits = bits*3 + 1 {
+		v := math.Float64frombits(bits)
+		digits, k := Shortest(v)
+		wantD, wantK := strconvDigits(v)
+		if digitsString(digits) != wantD || k != wantK {
+			t.Fatalf("denormal %x: ryu %q K=%d, strconv %q K=%d",
+				bits, digitsString(digits), k, wantD, wantK)
+		}
+	}
+}
+
+func TestMatchesStrconvExponentSweep(t *testing.T) {
+	// Every binade, several mantissas: exercises both e2 branches and all
+	// table rows.
+	r := rand.New(rand.NewSource(2))
+	for be := 1; be <= 2046; be++ {
+		for trial := 0; trial < 10; trial++ {
+			mant := r.Uint64() & (1<<52 - 1)
+			v := math.Float64frombits(uint64(be)<<52 | mant)
+			digits, k := Shortest(v)
+			wantD, wantK := strconvDigits(v)
+			if digitsString(digits) != wantD || k != wantK {
+				t.Fatalf("be=%d mant=%x: ryu %q K=%d, strconv %q K=%d",
+					be, mant, digitsString(digits), k, wantD, wantK)
+			}
+		}
+	}
+}
+
+// TestMatchesBurgerDybvigNearestEven ties the successor back to the paper:
+// Ryū's output must equal the exact Burger-Dybvig free format under the
+// nearest-even reader, except on exact ties where the two round
+// differently (paper: up; Ryū: to even) — both being valid shortest forms.
+func TestMatchesBurgerDybvigNearestEven(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ties := 0
+	for i := 0; i < 20000; i++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		digits, k := Shortest(v)
+		exact, err := core.FreeFormat(fpformat.DecodeFloat64(v), 10, core.ScalingEstimate, core.ReaderNearestEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digitsString(digits) == digitsString(exact.Digits) && k == exact.K {
+			continue
+		}
+		// Tolerated only for exact ties: same length and both round-trip.
+		if len(digits) != len(exact.Digits) {
+			t.Fatalf("ryu and Burger-Dybvig disagree beyond tie for %g", v)
+		}
+		s := "0." + digitsString(digits) + "e" + strconv.Itoa(k)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil || back != v {
+			t.Fatalf("ryu output %q does not round-trip for %g", s, v)
+		}
+		ties++
+	}
+	if ties > 40 {
+		t.Errorf("implausibly many tie divergences: %d", ties)
+	}
+}
+
+func TestSpecialsReturnNil(t *testing.T) {
+	for _, v := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if d, _ := Shortest(v); d != nil {
+			t.Errorf("Shortest(%v) = %v, want nil", v, d)
+		}
+	}
+}
+
+func TestNoTrailingZeros(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 50000; i++ {
+		v := math.Abs(math.Float64frombits(r.Uint64()))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			continue
+		}
+		digits, _ := Shortest(v)
+		if len(digits) > 0 && digits[len(digits)-1] == 0 {
+			t.Fatalf("trailing zero digit for %g: %v", v, digits)
+		}
+	}
+}
+
+func TestHelperFunctions(t *testing.T) {
+	// pow5bits against the definition.
+	for e := 0; e <= 3000; e++ {
+		want := int(math.Floor(float64(e)*math.Log2(5))) + 1
+		if e == 0 {
+			want = 1
+		}
+		if got := pow5bits(e); got != want {
+			t.Fatalf("pow5bits(%d) = %d, want %d", e, got, want)
+		}
+	}
+	for e := 0; e <= 1650; e++ {
+		if got, want := log10Pow2(e), int(math.Floor(float64(e)*math.Log10(2))); got != want {
+			t.Fatalf("log10Pow2(%d) = %d, want %d", e, got, want)
+		}
+	}
+	for e := 0; e <= 2620; e++ {
+		if got, want := log10Pow5(e), int(math.Floor(float64(e)*math.Log10(5))); got != want {
+			t.Fatalf("log10Pow5(%d) = %d, want %d", e, got, want)
+		}
+	}
+	if !multipleOfPowerOf5(125, 3) || multipleOfPowerOf5(124, 1) || !multipleOfPowerOf5(7, 0) {
+		t.Errorf("multipleOfPowerOf5 wrong")
+	}
+	if !multipleOfPowerOf2(8, 3) || multipleOfPowerOf2(8, 4) {
+		t.Errorf("multipleOfPowerOf2 wrong")
+	}
+}
+
+func BenchmarkRyuShortest(b *testing.B) {
+	corpus := schryer.CorpusN(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shortest(corpus[i%len(corpus)])
+	}
+}

@@ -1,0 +1,103 @@
+// Package schryer generates the floating-point test corpus used in the
+// paper's measurements: "a set of 250,680 positive normalized IEEE
+// double-precision floating-point numbers ... generated according to the
+// forms Schryer developed for testing floating-point units" (N. L.
+// Schryer, "A Test of a Computer's Floating-Point Arithmetic Unit", 1981 —
+// reference [4] of Burger & Dybvig).
+//
+// Schryer's original test tape is not available, so this package builds a
+// deterministic synthetic equivalent following his published approach:
+// structured mantissa bit patterns (runs of ones at either end, isolated
+// bits) crossed with a sweep of every binade of the double
+// format.  The corpus has exactly 250,680 values, is fully deterministic,
+// and — like Schryer's — concentrates on the mantissa/exponent extremes
+// that stress conversion algorithms.  See DESIGN.md for the substitution
+// rationale.
+package schryer
+
+import "math"
+
+// CorpusSize is the number of values in the full corpus, matching the
+// paper's count exactly.
+const CorpusSize = 250_680
+
+// binades is the count of normalized double-precision exponents
+// (2^-1022 .. 2^1023).
+const binades = 2046
+
+// patternsPerBinade is the number of structured mantissa patterns applied
+// in every binade; together with the extras this yields CorpusSize values.
+const patternsPerBinade = 122
+
+// extraBinades is the number of leading binades that receive one
+// additional mixed-bit pattern so the corpus size matches the paper's
+// 250,680 exactly: 2046×122 + 1068 = 250,680.
+const extraBinades = CorpusSize - binades*patternsPerBinade
+
+// Corpus returns the full 250,680-value test set.  Values are positive,
+// normalized, and deterministic (the same slice on every call).
+func Corpus() []float64 {
+	return CorpusN(CorpusSize)
+}
+
+// CorpusN returns the first n values of the corpus (n <= CorpusSize), for
+// quicker tests and benchmark warm-ups.  The values interleave binades so
+// any prefix still spans the full exponent range.
+func CorpusN(n int) []float64 {
+	if n < 0 {
+		n = 0
+	}
+	if n > CorpusSize {
+		n = CorpusSize
+	}
+	out := make([]float64, 0, n)
+	pats := mantissaPatterns()
+	// Interleave: for each pattern, sweep all binades.  This keeps small
+	// prefixes exponent-diverse (important when benchmarking scaling
+	// algorithms, whose cost depends on the exponent).
+	for pi := 0; pi < patternsPerBinade && len(out) < n; pi++ {
+		for e2 := -1022; e2 <= 1023 && len(out) < n; e2++ {
+			out = append(out, math.Ldexp(float64(pats[pi]), e2-52))
+		}
+	}
+	// The extra mixed pattern over the first binades brings the total to
+	// exactly CorpusSize.
+	mixed := mixedPattern()
+	for e2 := -1022; e2 < -1022+extraBinades && len(out) < n; e2++ {
+		out = append(out, math.Ldexp(float64(mixed), e2-52))
+	}
+	return out
+}
+
+// mantissaPatterns returns the 122 structured 53-bit mantissas (hidden bit
+// included, so every value is in [2^52, 2^53)).
+func mantissaPatterns() []uint64 {
+	const top = uint64(1) << 52
+	var pats []uint64
+	// Runs of k ones at the most-significant end: 111…1000…0.
+	for k := 1; k <= 41; k++ {
+		pats = append(pats, (uint64(1)<<k-1)<<(53-k))
+	}
+	// The leading one plus a run of k ones at the least-significant end:
+	// 100…0111…1.
+	for k := 1; k <= 41; k++ {
+		pats = append(pats, top|(uint64(1)<<k-1))
+	}
+	// The leading one plus a single isolated bit k positions below it:
+	// 100…010…0.  (k starts at 2: k = 1 would duplicate the two-leading-
+	// ones pattern.)
+	for k := 2; k <= 41; k++ {
+		pats = append(pats, top|uint64(1)<<(52-k))
+	}
+	if len(pats) != patternsPerBinade {
+		panic("schryer: pattern construction out of sync with patternsPerBinade")
+	}
+	return pats
+}
+
+// mixedPattern is the single additional pattern (an isolated-bits form)
+// used to reach the exact corpus size.
+func mixedPattern() uint64 {
+	const top = uint64(1) << 52
+	return top | 1<<40 | 1<<26 | 1<<13 | 1
+}

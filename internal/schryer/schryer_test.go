@@ -1,0 +1,103 @@
+package schryer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCorpusSizeMatchesPaper(t *testing.T) {
+	c := Corpus()
+	if len(c) != 250_680 {
+		t.Fatalf("corpus size %d, want 250680", len(c))
+	}
+}
+
+func TestCorpusAllPositiveNormalized(t *testing.T) {
+	for i, v := range Corpus() {
+		if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("corpus[%d] = %v is not positive finite", i, v)
+		}
+		if v < 0x1p-1022 {
+			t.Fatalf("corpus[%d] = %v is denormal", i, v)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a, b := Corpus(), Corpus()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corpus differs at %d", i)
+		}
+	}
+}
+
+func TestCorpusNoDuplicates(t *testing.T) {
+	seen := make(map[float64]int, CorpusSize)
+	for i, v := range Corpus() {
+		if j, dup := seen[v]; dup {
+			t.Fatalf("corpus[%d] duplicates corpus[%d]: %v", i, j, v)
+		}
+		seen[v] = i
+	}
+}
+
+func TestCorpusNPrefixBehavior(t *testing.T) {
+	full := Corpus()
+	for _, n := range []int{0, 1, 100, 5000, CorpusSize, CorpusSize + 5, -3} {
+		got := CorpusN(n)
+		want := n
+		if want < 0 {
+			want = 0
+		}
+		if want > CorpusSize {
+			want = CorpusSize
+		}
+		if len(got) != want {
+			t.Fatalf("CorpusN(%d) len = %d, want %d", n, len(got), want)
+		}
+		for i := range got {
+			if got[i] != full[i] {
+				t.Fatalf("CorpusN(%d)[%d] != Corpus()[%d]", n, i, i)
+			}
+		}
+	}
+}
+
+func TestCorpusPrefixSpansExponents(t *testing.T) {
+	// Even a small prefix must cover the full exponent range, so truncated
+	// benchmark runs still exercise extreme scaling factors.
+	prefix := CorpusN(4092) // two full pattern sweeps
+	sawTiny, sawHuge := false, false
+	for _, v := range prefix {
+		if v < 1e-300 {
+			sawTiny = true
+		}
+		if v > 1e300 {
+			sawHuge = true
+		}
+	}
+	if !sawTiny || !sawHuge {
+		t.Fatalf("prefix lacks exponent diversity: tiny=%v huge=%v", sawTiny, sawHuge)
+	}
+}
+
+func TestPatternShapes(t *testing.T) {
+	pats := mantissaPatterns()
+	const top = uint64(1) << 52
+	for i, p := range pats {
+		if p < top || p >= top<<1 {
+			t.Fatalf("pattern %d = %x is not a normalized 53-bit mantissa", i, p)
+		}
+	}
+	// Spot-check the three families.
+	if pats[0] != top {
+		t.Errorf("first leading-ones pattern should be 2^52, got %x", pats[0])
+	}
+	if pats[40] != (uint64(1)<<41-1)<<12 {
+		t.Errorf("41-leading-ones pattern wrong: %x", pats[40])
+	}
+	if pats[41] != top|1 {
+		t.Errorf("first trailing-ones pattern wrong: %x", pats[41])
+	}
+}

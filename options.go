@@ -1,0 +1,127 @@
+package floatprint
+
+import (
+	"fmt"
+
+	"floatprint/internal/core"
+	"floatprint/internal/reader"
+)
+
+// ReaderRounding describes how the program that will eventually read the
+// printed number back rounds values that fall exactly halfway between two
+// floating-point numbers.  Knowing the reader lets the printer use the
+// endpoints of the rounding range and sometimes save a digit (the paper's
+// Section 3); when in doubt, ReaderUnknown is always safe.
+type ReaderRounding int
+
+const (
+	// ReaderNearestEven assumes an IEEE round-to-nearest-even reader, the
+	// behavior of strconv.ParseFloat, C strtod, and this package's Parse
+	// default.  This is the package default.
+	ReaderNearestEven ReaderRounding = iota
+	// ReaderUnknown assumes nothing about the reader; output round-trips
+	// under any reasonable round-to-nearest reader.
+	ReaderUnknown
+	// ReaderNearestAway assumes the reader rounds ties away from zero.
+	ReaderNearestAway
+	// ReaderNearestTowardZero assumes the reader rounds ties toward zero.
+	ReaderNearestTowardZero
+)
+
+func (r ReaderRounding) String() string { return r.core().String() }
+
+func (r ReaderRounding) core() core.ReaderMode {
+	switch r {
+	case ReaderUnknown:
+		return core.ReaderUnknown
+	case ReaderNearestAway:
+		return core.ReaderNearestAway
+	case ReaderNearestTowardZero:
+		return core.ReaderNearestTowardZero
+	default:
+		return core.ReaderNearestEven
+	}
+}
+
+func (r ReaderRounding) reader() reader.RoundMode {
+	switch r {
+	case ReaderNearestAway:
+		return reader.NearestAway
+	case ReaderNearestTowardZero:
+		return reader.NearestTowardZero
+	default:
+		return reader.NearestEven
+	}
+}
+
+// Notation selects how digit results are rendered as text.
+type Notation int
+
+const (
+	// NotationAuto uses positional notation for moderate scale factors and
+	// scientific notation otherwise, like Go's %g.
+	NotationAuto Notation = iota
+	// NotationScientific always renders d.ddd…e±x.
+	NotationScientific
+	// NotationPositional always renders plain digits around a radix point.
+	NotationPositional
+)
+
+// Scaling selects the scale-factor strategy from the paper's Table 2.  The
+// default, ScalingEstimate, is the paper's contribution and is always the
+// right choice outside benchmarks.
+type Scaling int
+
+const (
+	// ScalingEstimate is the paper's two-flop estimator with penalty-free
+	// fixup.
+	ScalingEstimate Scaling = iota
+	// ScalingIterative is Steele & White's search (slow; for comparison).
+	ScalingIterative
+	// ScalingFloatLog estimates with a floating-point logarithm call.
+	ScalingFloatLog
+)
+
+func (s Scaling) core() core.Scaling {
+	switch s {
+	case ScalingIterative:
+		return core.ScalingIterative
+	case ScalingFloatLog:
+		return core.ScalingFloatLog
+	default:
+		return core.ScalingEstimate
+	}
+}
+
+// Options configures conversions.  The zero value is ready to use: base
+// 10, a nearest-even reader, automatic notation, and the fast estimator.
+type Options struct {
+	// Base is the output (or input, for Parse) base, 2 to 36.
+	// Zero means 10.
+	Base int
+	// Reader is the assumed rounding behavior of whoever reads the output.
+	Reader ReaderRounding
+	// Notation controls text rendering.
+	Notation Notation
+	// Scaling selects the scale-factor algorithm (benchmarking only).
+	Scaling Scaling
+	// NoMarks renders insignificant trailing digits as '0' instead of the
+	// paper's '#' marks.  The digits still read back correctly; only the
+	// explicit insignificance annotation is lost.
+	NoMarks bool
+}
+
+// norm returns o with defaults applied, validating the base.
+func (o *Options) norm() (Options, error) {
+	var v Options
+	if o != nil {
+		v = *o
+	}
+	if v.Base == 0 {
+		v.Base = 10
+	}
+	if v.Base < 2 || v.Base > 36 {
+		return v, fmt.Errorf("floatprint: base %d out of range [2,36]", v.Base)
+	}
+	return v, nil
+}

@@ -1,0 +1,105 @@
+package floatprint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"floatprint/internal/fpformat"
+	"floatprint/internal/reader"
+)
+
+// ErrRange reports that a parsed value is outside the float64 range; the
+// accompanying result is ±Inf, as IEEE arithmetic would produce.
+var ErrRange = errors.New("floatprint: value out of range")
+
+// Parse reads a number in the options' base with correct rounding under
+// the options' reader mode and returns the nearest float64.  It is the
+// exact inverse of this package's printing: Parse(Shortest(v)) == v, and
+// the same holds for every base and reader mode pair when the options
+// match.  '#' marks in the input are read as zeros, so fixed-format output
+// parses back directly.  The strings "NaN", "Inf", "Infinity" (any case,
+// optional sign) are accepted like strconv.ParseFloat.
+func Parse(s string, opts *Options) (float64, error) {
+	o, err := opts.norm()
+	if err != nil {
+		return 0, err
+	}
+	if f, ok := parseSpecial(s); ok {
+		return f, nil
+	}
+	v, err := reader.Parse(s, o.Base, fpformat.Binary64, o.Reader.reader())
+	if err != nil {
+		if errors.Is(err, reader.ErrRange) {
+			return infFor(v.Neg), ErrRange
+		}
+		return 0, fmt.Errorf("floatprint: %w", err)
+	}
+	return v.Float64()
+}
+
+// Parse32 is Parse targeting float32: rounding happens once, directly to
+// single precision (no double-rounding through float64).
+func Parse32(s string, opts *Options) (float32, error) {
+	o, err := opts.norm()
+	if err != nil {
+		return 0, err
+	}
+	if f, ok := parseSpecial(s); ok {
+		return float32(f), nil
+	}
+	v, err := reader.Parse(s, o.Base, fpformat.Binary32, o.Reader.reader())
+	if err != nil {
+		if errors.Is(err, reader.ErrRange) {
+			return float32(infFor(v.Neg)), ErrRange
+		}
+		return 0, fmt.Errorf("floatprint: %w", err)
+	}
+	return v.Float32()
+}
+
+// parseDigits converts an already-split Digits value back to a float64.
+func parseDigits(d Digits) (float64, error) {
+	// Dropping the insignificant tail (zeros) does not change the value or
+	// the scale: 0.d₁…d_NSig × Bᴷ.
+	v, err := reader.Convert(reader.Number{
+		Neg:    d.Neg,
+		Digits: d.Digits[:d.NSig],
+		Base:   d.Base,
+		K:      d.K,
+	}, fpformat.Binary64, reader.NearestEven)
+	if err != nil {
+		if errors.Is(err, reader.ErrRange) {
+			return infFor(d.Neg), ErrRange
+		}
+		return 0, err
+	}
+	return v.Float64()
+}
+
+func parseSpecial(s string) (float64, bool) {
+	t := s
+	neg := false
+	switch {
+	case strings.HasPrefix(t, "+"):
+		t = t[1:]
+	case strings.HasPrefix(t, "-"):
+		neg = true
+		t = t[1:]
+	}
+	switch strings.ToLower(t) {
+	case "nan":
+		return math.NaN(), true
+	case "inf", "infinity":
+		return infFor(neg), true
+	}
+	return 0, false
+}
+
+func infFor(neg bool) float64 {
+	if neg {
+		return math.Inf(-1)
+	}
+	return math.Inf(1)
+}

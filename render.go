@@ -1,0 +1,131 @@
+package floatprint
+
+import (
+	"strconv"
+	"strings"
+)
+
+const digitAlphabet = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+// String renders d with automatic notation and '#' marks, the package's
+// canonical textual form.
+func (d Digits) String() string {
+	return d.render(nil)
+}
+
+// render applies the options' notation.
+func (d Digits) render(opts *Options) string {
+	o, err := opts.norm()
+	if err != nil {
+		o.Notation = NotationAuto
+	}
+	switch d.Class {
+	case IsNaN:
+		return "NaN"
+	case IsInf:
+		if d.Neg {
+			return "-Inf"
+		}
+		return "+Inf"
+	case IsZero:
+		return d.renderZero(o)
+	}
+
+	notation := o.Notation
+	if notation == NotationAuto {
+		// Positional for moderate scales (strconv %g uses the same band);
+		// marks interleaved with positional padding would be ambiguous, so
+		// marked results falling past their own digits go scientific too.
+		if d.K < -3 || d.K > 21 || (d.NSig < len(d.Digits) && d.K > len(d.Digits)) {
+			notation = NotationScientific
+		} else {
+			notation = NotationPositional
+		}
+	}
+	var sb strings.Builder
+	if d.Neg {
+		sb.WriteByte('-')
+	}
+	if notation == NotationScientific {
+		d.renderScientific(&sb, o)
+	} else {
+		d.renderPositional(&sb, o)
+	}
+	return sb.String()
+}
+
+func (d Digits) renderZero(o Options) string {
+	var sb strings.Builder
+	if d.Neg {
+		sb.WriteByte('-')
+	}
+	sb.WriteByte('0')
+	// Fixed-format zeros carry digit positions: render the fraction when
+	// the positions extend below the radix point.
+	if n := len(d.Digits); n > 1 || (n == 1 && d.K <= 0) {
+		frac := n - d.K
+		if frac > 0 {
+			sb.WriteByte('.')
+			for i := 0; i < frac; i++ {
+				sb.WriteByte('0')
+			}
+		}
+	}
+	return sb.String()
+}
+
+// digitChar renders one digit, using '#' for insignificant positions.
+func (d Digits) digitChar(i int, o Options) byte {
+	if i >= d.NSig && !o.NoMarks {
+		return '#'
+	}
+	return digitAlphabet[d.Digits[i]]
+}
+
+// renderScientific writes d₁.d₂…dₙ followed by the exponent marker and
+// K−1 (the exponent of the leading digit).
+func (d Digits) renderScientific(sb *strings.Builder, o Options) {
+	sb.WriteByte(d.digitChar(0, o))
+	if len(d.Digits) > 1 {
+		sb.WriteByte('.')
+		for i := 1; i < len(d.Digits); i++ {
+			sb.WriteByte(d.digitChar(i, o))
+		}
+	}
+	if d.Base <= 10 {
+		sb.WriteByte('e')
+	} else {
+		sb.WriteByte('@') // 'e' is a digit in bases over 10
+	}
+	sb.WriteString(strconv.Itoa(d.K - 1))
+}
+
+// renderPositional writes the digits around a radix point at position K.
+func (d Digits) renderPositional(sb *strings.Builder, o Options) {
+	n := len(d.Digits)
+	switch {
+	case d.K <= 0:
+		sb.WriteString("0.")
+		for i := 0; i < -d.K; i++ {
+			sb.WriteByte('0')
+		}
+		for i := 0; i < n; i++ {
+			sb.WriteByte(d.digitChar(i, o))
+		}
+	case d.K >= n:
+		for i := 0; i < n; i++ {
+			sb.WriteByte(d.digitChar(i, o))
+		}
+		for i := n; i < d.K; i++ {
+			sb.WriteByte('0') // value padding below the last digit position
+		}
+	default:
+		for i := 0; i < d.K; i++ {
+			sb.WriteByte(d.digitChar(i, o))
+		}
+		sb.WriteByte('.')
+		for i := d.K; i < n; i++ {
+			sb.WriteByte(d.digitChar(i, o))
+		}
+	}
+}

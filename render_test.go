@@ -1,0 +1,168 @@
+package floatprint
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderNotationBand(t *testing.T) {
+	// The auto band: positional for K in [-3, 21], scientific outside.
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1e-4, "0.0001"},                // K=-3 boundary (inside)
+		{1e-5, "1e-5"},                  // K=-4 (outside)
+		{1e20, "100000000000000000000"}, // K=21 boundary (inside)
+		{1e21, "1e21"},                  // K=22 (outside)
+	}
+	for _, c := range cases {
+		if got := Shortest(c.v); got != c.want {
+			t.Errorf("Shortest(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRenderNegativeForms(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{-0.25, "-0.25"},
+		{-1e30, "-1e30"},
+		{-1234.5, "-1234.5"},
+	}
+	for _, c := range cases {
+		if got := Shortest(c.v); got != c.want {
+			t.Errorf("Shortest(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := FixedPosition(-1234.5678, -1); got != "-1234.6" {
+		t.Errorf("negative fixed = %q", got)
+	}
+}
+
+func TestRenderScientificSingleDigit(t *testing.T) {
+	// No decimal point when there is only one digit.
+	if got := Shortest(5e-324); got != "5e-324" {
+		t.Errorf("single-digit scientific = %q", got)
+	}
+	s, err := Format(4, &Options{Notation: NotationScientific})
+	if err != nil || s != "4e0" {
+		t.Errorf("Format(4, sci) = %q (%v)", s, err)
+	}
+}
+
+func TestRenderZeroWithPositions(t *testing.T) {
+	// Fixed zeros carry their digit positions into the rendering.
+	if got := Fixed(0, 1); got != "0" {
+		t.Errorf("Fixed(0,1) = %q", got)
+	}
+	if got := Fixed(0, 5); got != "0.0000" {
+		t.Errorf("Fixed(0,5) = %q", got)
+	}
+	if got := FixedPosition(0, -3); got != "0.000" {
+		t.Errorf("FixedPosition(0,-3) = %q", got)
+	}
+	if got := FixedPosition(0, 2); got != "0" {
+		t.Errorf("FixedPosition(0,2) = %q", got)
+	}
+	if got := Shortest(math.Copysign(0, -1)); got != "-0" {
+		t.Errorf("Shortest(-0) = %q", got)
+	}
+	// A nonzero value rounded away to zero keeps its sign.
+	if got := FixedPosition(-5, 2); got != "-0" {
+		t.Errorf("FixedPosition(-5, 2) = %q", got)
+	}
+}
+
+func TestRenderMarksInScientific(t *testing.T) {
+	d, err := FixedDigits(5e-324, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.String()
+	if !strings.HasPrefix(s, "5.") || !strings.Contains(s, "#") || !strings.HasSuffix(s, "e-324") {
+		t.Errorf("denormal marked rendering = %q", s)
+	}
+	if strings.Count(s, "#") != 8-d.NSig {
+		t.Errorf("mark count mismatch in %q (NSig=%d)", s, d.NSig)
+	}
+}
+
+func TestRenderMarksForcedPositional(t *testing.T) {
+	// Forcing positional on a marked result keeps marks in fractional
+	// positions.
+	s, err := FormatFixedPosition(100, -20, &Options{Notation: NotationPositional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s, "100.") || strings.Count(s, "#") != 5 {
+		t.Errorf("positional marked = %q", s)
+	}
+}
+
+func TestRenderAutoAvoidsMarkPadding(t *testing.T) {
+	// When a marked result's digits end above the radix point, positional
+	// rendering would need value padding after '#'; auto must choose
+	// scientific instead.
+	d := Digits{
+		Class: Finite, Digits: []byte{1, 2, 3}, K: 6, NSig: 2, Base: 10,
+	}
+	s := d.String()
+	if !strings.Contains(s, "e") {
+		t.Errorf("marked K>len result should render scientific, got %q", s)
+	}
+}
+
+func TestRenderBase36AtMarker(t *testing.T) {
+	d := Digits{Class: Finite, Digits: []byte{35, 35}, K: 40, NSig: 2, Base: 36}
+	s := d.String()
+	if !strings.Contains(s, "@39") || !strings.HasPrefix(s, "z.z") {
+		t.Errorf("base-36 scientific = %q", s)
+	}
+}
+
+func TestRenderSpecials(t *testing.T) {
+	for v, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+	} {
+		d, err := ShortestDigits(v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", v, got, want)
+		}
+	}
+	d, _ := ShortestDigits(math.NaN(), nil)
+	if d.String() != "NaN" {
+		t.Errorf("NaN renders %q", d.String())
+	}
+}
+
+func TestRenderPaddingAboveLastPosition(t *testing.T) {
+	// FixedPosition at a positive position pads with value zeros up to the
+	// units place.
+	if got := FixedPosition(987654, 3); got != "988000" {
+		t.Errorf("FixedPosition(987654, 3) = %q", got)
+	}
+	if got := FixedPosition(999999, 3); got != "1000000" {
+		t.Errorf("FixedPosition(999999, 3) = %q (carry into new digit)", got)
+	}
+}
+
+func TestRenderNoMarksOption(t *testing.T) {
+	s, err := FormatFixed(5e-324, 6, &Options{NoMarks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, "#") {
+		t.Errorf("NoMarks rendering still has marks: %q", s)
+	}
+	if s != "5.00000e-324" {
+		t.Errorf("NoMarks denormal = %q", s)
+	}
+}
