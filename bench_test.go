@@ -198,6 +198,92 @@ func BenchmarkShortest(b *testing.B) {
 	}
 }
 
+// AppendShortest on the certified grisu path: the headline zero-allocation
+// claim.  The corpus is filtered to values the fast path certifies (~99.5%)
+// so allocs/op must report exactly 0.
+func BenchmarkAppendShortestCertified(b *testing.B) {
+	floats, _ := benchCorpus()
+	certified := make([]float64, 0, len(floats))
+	for _, f := range floats {
+		if _, _, ok := grisu.Shortest(f); ok {
+			certified = append(certified, f)
+		}
+	}
+	if len(certified) == 0 {
+		b.Fatal("no certified values in corpus")
+	}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendShortest(buf[:0], certified[i%len(certified)])
+	}
+}
+
+// AppendShortest over the unfiltered corpus (includes the exact-path
+// fallback values, so allocs/op is small but nonzero).
+func BenchmarkAppendShortest(b *testing.B) {
+	floats, _ := benchCorpus()
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendShortest(buf[:0], floats[i%len(floats)])
+	}
+}
+
+// Concurrent-regime benchmarks (Gareau & Lemire's experimental-review point
+// that shortest-conversion measurements must cover the parallel,
+// allocation-aware case).  With the lock-free power cache and pooled
+// conversion state these scale near-linearly with GOMAXPROCS; run with
+// -cpu=1,2,4,... to see the scaling curve.
+func BenchmarkShortestParallel(b *testing.B) {
+	floats, _ := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]byte, 0, 64)
+		i := 0
+		for pb.Next() {
+			buf = AppendShortest(buf[:0], floats[i%len(floats)])
+			i++
+		}
+	})
+}
+
+// The fixed-format twin of BenchmarkShortestParallel: 17 significant
+// digits through the public API (Gay fast path plus exact fallback).
+func BenchmarkFixedParallel(b *testing.B) {
+	floats, _ := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]byte, 0, 64)
+		i := 0
+		for pb.Next() {
+			buf = AppendFixed(buf[:0], floats[i%len(floats)], 17)
+			i++
+		}
+	})
+}
+
+// The exact algorithm alone under contention: every iteration takes the
+// big-integer path, hammering the power cache and the state pool.
+func BenchmarkFreeFormatParallel(b *testing.B) {
+	_, values := benchCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := core.FreeFormat(values[i%len(values)], 10, core.ScalingEstimate, core.ReaderNearestEven); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
 func BenchmarkStrconvShortestReference(b *testing.B) {
 	floats, _ := benchCorpus()
 	b.ReportAllocs()

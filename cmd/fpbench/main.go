@@ -5,6 +5,7 @@
 //	fpbench -table 3     Table 3: free vs fixed vs printf, mis-rounding count
 //	fpbench -stats       §5 statistic: mean shortest-digit count (paper: 15.2)
 //	fpbench -ablation    estimator accuracy: Burger-Dybvig vs Gay
+//	fpbench -parallel    concurrent-conversion scaling with goroutine count
 //	fpbench -all         everything
 //	fpbench -n 50000     corpus size (default: the paper's full 250,680)
 //
@@ -16,7 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"time"
 
+	"floatprint"
 	"floatprint/internal/harness"
 	"floatprint/internal/schryer"
 )
@@ -26,11 +31,12 @@ func main() {
 	stats := flag.Bool("stats", false, "mean shortest-digit statistic")
 	ablation := flag.Bool("ablation", false, "estimator accuracy ablation")
 	successors := flag.Bool("successors", false, "compare with Grisu3 and Ryu (follow-on work)")
+	parallel := flag.Bool("parallel", false, "concurrent shortest-conversion scaling")
 	all := flag.Bool("all", false, "run every experiment")
 	n := flag.Int("n", schryer.CorpusSize, "corpus size (max 250680)")
 	flag.Parse()
 
-	if !*all && *table == 0 && !*stats && !*ablation && !*successors {
+	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -60,6 +66,48 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *all || *parallel {
+		runParallel(corpus)
+	}
+}
+
+// runParallel measures aggregate shortest-conversion throughput as the
+// goroutine count rises from 1 to 2×GOMAXPROCS.  With the lock-free power
+// cache, the pooled conversion state, and the zero-allocation append path,
+// throughput should track core count nearly linearly up to GOMAXPROCS and
+// then flatten; a sub-linear curve indicates contention (the regime the
+// old global power-table mutex serialized outright).
+func runParallel(corpus []float64) {
+	procs := runtime.GOMAXPROCS(0)
+	fmt.Println("== Concurrent conversion scaling (AppendShortest, reused buffers) ==")
+	fmt.Printf("GOMAXPROCS=%d; per-row: goroutines, aggregate conversions/s, speedup vs 1\n", procs)
+	var base float64
+	for g := 1; g <= 2*procs; g *= 2 {
+		rate := parallelRate(corpus, g)
+		if g == 1 {
+			base = rate
+		}
+		fmt.Printf("  g=%-3d  %12.0f conv/s   %5.2fx\n", g, rate, rate/base)
+	}
+	fmt.Println()
+}
+
+func parallelRate(corpus []float64, g int) float64 {
+	const perG = 200000
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			buf := make([]byte, 0, 64)
+			for i := 0; i < perG; i++ {
+				buf = floatprint.AppendShortest(buf[:0], corpus[(off+i)%len(corpus)])
+			}
+		}(w * 127)
+	}
+	wg.Wait()
+	return float64(g*perG) / time.Since(start).Seconds()
 }
 
 func runSuccessors(corpus []float64) error {

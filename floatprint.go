@@ -1,6 +1,7 @@
 package floatprint
 
 import (
+	"fmt"
 	"math"
 
 	"floatprint/internal/core"
@@ -28,6 +29,10 @@ const (
 // are insignificant: the paper's '#' marks, replaceable by any digits
 // without changing the value read back.  Free-format results always have
 // NSig == len(Digits).
+//
+// A Digits value is immutable by convention and safe to share between
+// goroutines; all conversion entry points in this package are themselves
+// goroutine-safe.
 type Digits struct {
 	Class  Class
 	Neg    bool
@@ -40,7 +45,11 @@ type Digits struct {
 // ShortestDigits converts v to the shortest digit string that reads back
 // to v under the options' reader rounding assumption (free format).
 func ShortestDigits(v float64, opts *Options) (Digits, error) {
-	return shortestValue(fpformat.DecodeFloat64(v), opts)
+	o, err := opts.norm()
+	if err != nil {
+		return Digits{}, err
+	}
+	return shortestValue(fpformat.DecodeFloat64(v), o)
 }
 
 // ShortestDigits32 is ShortestDigits for float32 values; the shorter
@@ -51,7 +60,14 @@ func ShortestDigits32(v float32, opts *Options) (Digits, error) {
 	if err != nil {
 		return Digits{}, err
 	}
-	if o.Base == 10 && o.Scaling == ScalingEstimate && !math.IsNaN(float64(v)) {
+	val := fpformat.DecodeFloat32(v)
+	// Specials are classified before any fast path runs, exactly as in
+	// shortestValue: the grisu guards are an internal defense, not the
+	// API's ±0/Inf/NaN semantics.
+	if d, done := specialDigits(val, o.Base); done {
+		return d, nil
+	}
+	if o.Base == 10 && o.Scaling == ScalingEstimate {
 		if digits, k, ok := grisu.Shortest32(float32(math.Abs(float64(v)))); ok {
 			return Digits{
 				Class: Finite, Neg: math.Signbit(float64(v)),
@@ -59,14 +75,12 @@ func ShortestDigits32(v float32, opts *Options) (Digits, error) {
 			}, nil
 		}
 	}
-	return shortestValue(fpformat.DecodeFloat32(v), opts)
+	return shortestValue(val, o)
 }
 
-func shortestValue(val fpformat.Value, opts *Options) (Digits, error) {
-	o, err := opts.norm()
-	if err != nil {
-		return Digits{}, err
-	}
+// shortestValue runs the free-format conversion under already-normalized
+// options.
+func shortestValue(val fpformat.Value, o Options) (Digits, error) {
 	if d, done := specialDigits(val, o.Base); done {
 		return d, nil
 	}
@@ -94,23 +108,34 @@ func shortestValue(val fpformat.Value, opts *Options) (Digits, error) {
 
 // FixedDigits converts v to exactly n significant digit positions,
 // correctly rounded, with insignificant trailing positions counted out of
-// NSig (fixed format, relative position).
+// NSig (fixed format, relative position).  n must be positive.
 func FixedDigits(v float64, n int, opts *Options) (Digits, error) {
-	return fixedValue(fpformat.DecodeFloat64(v), n, opts)
-}
-
-// FixedDigits32 is FixedDigits for float32 values.
-func FixedDigits32(v float32, n int, opts *Options) (Digits, error) {
-	return fixedValue(fpformat.DecodeFloat32(v), n, opts)
-}
-
-func fixedValue(val fpformat.Value, n int, opts *Options) (Digits, error) {
 	o, err := opts.norm()
 	if err != nil {
 		return Digits{}, err
 	}
+	return fixedValue(fpformat.DecodeFloat64(v), n, o)
+}
+
+// FixedDigits32 is FixedDigits for float32 values.
+func FixedDigits32(v float32, n int, opts *Options) (Digits, error) {
+	o, err := opts.norm()
+	if err != nil {
+		return Digits{}, err
+	}
+	return fixedValue(fpformat.DecodeFloat32(v), n, o)
+}
+
+// fixedValue runs the fixed-format conversion under already-normalized
+// options.  The digit count is validated here, at the public boundary, for
+// every value class — including ±0, whose zero-padding path would otherwise
+// silently accept a nonsensical count.
+func fixedValue(val fpformat.Value, n int, o Options) (Digits, error) {
+	if n <= 0 {
+		return Digits{}, fmt.Errorf("floatprint: digit count %d must be positive", n)
+	}
 	if d, done := specialDigits(val, o.Base); done {
-		if d.Class == IsZero && n > 0 {
+		if d.Class == IsZero {
 			d.Digits = make([]byte, n)
 			d.K = 1
 			d.NSig = n
@@ -143,11 +168,14 @@ func fixedValue(val fpformat.Value, n int, opts *Options) (Digits, error) {
 // pos: the last digit has weight Base^pos, so pos = -2 stops at the
 // hundredths digit and pos = 3 at the thousands digit.
 func FixedPositionDigits(v float64, pos int, opts *Options) (Digits, error) {
-	val := fpformat.DecodeFloat64(v)
 	o, err := opts.norm()
 	if err != nil {
 		return Digits{}, err
 	}
+	return fixedPositionValue(fpformat.DecodeFloat64(v), pos, o)
+}
+
+func fixedPositionValue(val fpformat.Value, pos int, o Options) (Digits, error) {
 	if d, done := specialDigits(val, o.Base); done {
 		if d.Class == IsZero {
 			d.Digits = []byte{0}
@@ -227,19 +255,62 @@ func Shortest32(v float32) string {
 	return d.String()
 }
 
-// AppendShortest appends the Shortest rendering of v to dst.
+// AppendShortest appends the Shortest rendering of v to dst and returns
+// the extended slice.  On the certified Grisu3 fast path (~99.5% of
+// values) it performs no heap allocation beyond growing dst: the digits
+// are generated into a stack buffer and rendered directly into dst, so a
+// caller that reuses dst serializes floats with zero allocations per call.
 func AppendShortest(dst []byte, v float64) []byte {
-	return append(dst, Shortest(v)...)
+	// Specials, inline: these never reach digit generation.
+	switch {
+	case math.IsNaN(v):
+		return append(dst, "NaN"...)
+	case math.IsInf(v, 1):
+		return append(dst, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(dst, "-Inf"...)
+	case v == 0:
+		if math.Signbit(v) {
+			return append(dst, '-', '0')
+		}
+		return append(dst, '0')
+	}
+	var buf [grisu.BufLen]byte
+	if n, k, ok := grisu.ShortestInto(buf[:], math.Abs(v)); ok {
+		d := Digits{
+			Class: Finite, Neg: math.Signbit(v),
+			Digits: buf[:n], K: k, NSig: n, Base: 10,
+		}
+		return d.appendRender(dst, defaultOptions())
+	}
+	// Exact fallback for the rare uncertified values.
+	d, err := ShortestDigits(v, nil)
+	if err != nil {
+		panic("floatprint: " + err.Error()) // unreachable with default options
+	}
+	return d.appendRender(dst, defaultOptions())
 }
 
 // Fixed returns v correctly rounded to n significant digits in base 10,
-// with '#' marks past the point of significance.
+// with '#' marks past the point of significance.  It panics if n is not
+// positive; use FixedDigits to handle the error instead.
 func Fixed(v float64, n int) string {
 	d, err := FixedDigits(v, n, nil)
 	if err != nil {
 		panic("floatprint: " + err.Error())
 	}
 	return d.String()
+}
+
+// AppendFixed appends the Fixed rendering of v at n significant digits to
+// dst and returns the extended slice.  Like Fixed it panics when n is not
+// positive.
+func AppendFixed(dst []byte, v float64, n int) []byte {
+	d, err := FixedDigits(v, n, nil)
+	if err != nil {
+		panic("floatprint: " + err.Error())
+	}
+	return d.appendRender(dst, defaultOptions())
 }
 
 // FixedPosition returns v correctly rounded at absolute digit position pos
@@ -255,30 +326,42 @@ func FixedPosition(v float64, pos int) string {
 
 // Format renders v under the given options (free format).
 func Format(v float64, opts *Options) (string, error) {
-	d, err := ShortestDigits(v, opts)
+	o, err := opts.norm()
 	if err != nil {
 		return "", err
 	}
-	return d.render(opts), nil
+	d, err := shortestValue(fpformat.DecodeFloat64(v), o)
+	if err != nil {
+		return "", err
+	}
+	return d.render(o), nil
 }
 
 // FormatFixed renders v to n significant digits under the given options.
 func FormatFixed(v float64, n int, opts *Options) (string, error) {
-	d, err := FixedDigits(v, n, opts)
+	o, err := opts.norm()
 	if err != nil {
 		return "", err
 	}
-	return d.render(opts), nil
+	d, err := fixedValue(fpformat.DecodeFloat64(v), n, o)
+	if err != nil {
+		return "", err
+	}
+	return d.render(o), nil
 }
 
 // FormatFixedPosition renders v rounded at absolute position pos under the
 // given options.
 func FormatFixedPosition(v float64, pos int, opts *Options) (string, error) {
-	d, err := FixedPositionDigits(v, pos, opts)
+	o, err := opts.norm()
 	if err != nil {
 		return "", err
 	}
-	return d.render(opts), nil
+	d, err := fixedPositionValue(fpformat.DecodeFloat64(v), pos, o)
+	if err != nil {
+		return "", err
+	}
+	return d.render(o), nil
 }
 
 // Value reconstructs the float64 nearest to the digits (a convenience for

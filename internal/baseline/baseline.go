@@ -56,9 +56,9 @@ func FixedDigits(v fpformat.Value, base, n int) (core.Result, error) {
 	bw := bignat.Word(base)
 	num, den := r, s
 	if k >= 0 {
-		den = bignat.Mul(den, bignat.PowUint(uint64(base), uint(k)))
+		den = bignat.Mul(den, core.PowersOf(base).Pow(uint(k)))
 	} else {
-		num = bignat.Mul(num, bignat.PowUint(uint64(base), uint(-k)))
+		num = bignat.Mul(num, core.PowersOf(base).Pow(uint(-k)))
 	}
 	for bignat.Cmp(num, den) >= 0 { // v >= B^k: k too low
 		den = bignat.MulWord(den, bw)
@@ -159,11 +159,13 @@ func NaivePrintf(v float64, n int) (digits []byte, k int) {
 }
 
 func valueRatio(v fpformat.Value) (r, s bignat.Nat) {
-	b := uint64(v.Fmt.Base)
+	pows := core.PowersOf(v.Fmt.Base)
 	if v.E >= 0 {
-		return bignat.Mul(v.F, bignat.PowUint(b, uint(v.E))), bignat.Nat{1}
+		return bignat.Mul(v.F, pows.Pow(uint(v.E))), bignat.Nat{1}
 	}
-	return v.F, bignat.PowUint(b, uint(-v.E))
+	// The denominator is mutated by neither side: sharing the cached power
+	// is safe (bignat operands are read-only).
+	return v.F, pows.Pow(uint(-v.E))
 }
 
 // logB approximates log_base(v) from the mantissa's bit length, accurate

@@ -87,6 +87,49 @@ func AddInto(dst, x, y Nat) Nat {
 	return norm(dst)
 }
 
+// MulInto computes x * y into dst's storage (growing it as needed) and
+// returns the normalized result.  dst must alias neither x nor y.  Operands
+// at or above the Karatsuba threshold fall back to the allocating Mul —
+// the printing hot loop never reaches that size, and correctness there
+// matters more than buffer reuse.
+func MulInto(dst, x, y Nat) Nat {
+	if len(x) == 0 || len(y) == 0 {
+		return dst[:0]
+	}
+	if len(y) > len(x) {
+		x, y = y, x
+	}
+	if len(y) >= karatsubaThreshold {
+		return Mul(x, y)
+	}
+	n := len(x) + len(y)
+	if cap(dst) < n {
+		dst = make(Nat, n)
+	} else {
+		dst = dst[:n]
+	}
+	if len(y) == 1 {
+		dst[len(x)] = mulAddVWW(dst[:len(x)], x, y[0], 0)
+		return norm(dst)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, yj := range y {
+		if yj == 0 {
+			continue
+		}
+		dst[j+len(x)] += addMulVVW(dst[j:j+len(x)], x, yj)
+	}
+	return norm(dst)
+}
+
+// CopyInto copies x into dst's storage (growing it as needed) and returns
+// the result, which shares no limbs with x.
+func CopyInto(dst, x Nat) Nat {
+	return append(dst[:0], x...)
+}
+
 // subMulVW computes x -= y*w in place, returning the final borrow (nonzero
 // when y*w > x, in which case x holds the two's-complement-style residue
 // and the caller must add back).  len(x) must be >= len(y).

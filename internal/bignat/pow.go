@@ -1,5 +1,10 @@
 package bignat
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // Pow returns x**n computed by binary exponentiation.
 // Pow(0, 0) == 1, matching the usual convention for integer powers.
 func Pow(x Nat, n uint) Nat {
@@ -28,28 +33,70 @@ func PowUint(b uint64, n uint) Nat {
 // it grows on demand and works for any base, so it also serves bases 2-36
 // and the wider synthetic formats.  The zero value is not usable; call
 // NewPowCache.
+//
+// The cache is safe for concurrent use and its read path is lock-free: the
+// table of known powers is an immutable snapshot published through an
+// atomic pointer.  Growing the table copies the slice of (shared, already
+// immutable) power values, extends the copy, and atomically publishes it;
+// only concurrent growers serialize on a mutex.  A cache preloaded past
+// the largest power its workload needs (see Preload) therefore never takes
+// a lock in steady state.
 type PowCache struct {
-	base   Nat
-	powers []Nat // powers[i] == base**i
+	base Nat
+	snap atomic.Pointer[[]Nat] // (*snap)[i] == base**i; immutable once published
+	mu   sync.Mutex            // serializes growth only; readers never take it
 }
 
 // NewPowCache returns a cache of powers of base.
 func NewPowCache(base uint64) *PowCache {
-	return &PowCache{
-		base:   FromUint64(base),
-		powers: []Nat{{1}},
-	}
+	c := &PowCache{base: FromUint64(base)}
+	p := []Nat{{1}}
+	c.snap.Store(&p)
+	return c
 }
 
 // Pow returns base**n, computing and caching any powers not yet known.
 // The returned Nat is shared with the cache and must not be modified;
 // all bignat operations treat operands as read-only, so normal use is safe.
 func (c *PowCache) Pow(n uint) Nat {
-	for uint(len(c.powers)) <= n {
-		last := c.powers[len(c.powers)-1]
-		c.powers = append(c.powers, Mul(last, c.base))
+	p := *c.snap.Load()
+	if n < uint(len(p)) {
+		return p[n]
 	}
-	return c.powers[n]
+	return c.grow(n)
+}
+
+// grow extends the table to cover n under the grow lock and publishes the
+// extended copy.  The previous snapshot's entries are shared, not copied:
+// a Nat in the table is immutable for its lifetime.
+func (c *PowCache) grow(n uint) Nat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := *c.snap.Load()
+	if n < uint(len(p)) {
+		return p[n] // another grower got here first
+	}
+	np := make([]Nat, n+1)
+	copy(np, p)
+	for i := len(p); i <= int(n); i++ {
+		np[i] = Mul(np[i-1], c.base)
+	}
+	c.snap.Store(&np)
+	return np[n]
+}
+
+// Preload ensures every power up to and including n is cached, so that
+// later Pow calls up to n are lock-free reads.  Callers that know their
+// workload's largest exponent (e.g. base-10 conversion of binary64 values)
+// preload once at startup and never pay the grow lock again.
+func (c *PowCache) Preload(n uint) {
+	c.Pow(n)
+}
+
+// Cached reports how many powers (exponents 0..Cached()-1) are currently
+// available without growing.
+func (c *PowCache) Cached() int {
+	return len(*c.snap.Load())
 }
 
 // Base returns the cache's base as a Nat (shared, read-only).

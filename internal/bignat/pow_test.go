@@ -1,0 +1,63 @@
+package bignat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestPowCacheConcurrentGrow exercises the lock-free read path and the
+// copy-on-grow publication under many goroutines racing to extend the
+// table in interleaved order.  Run under -race to certify the atomic
+// snapshot discipline.
+func TestPowCacheConcurrentGrow(t *testing.T) {
+	c := NewPowCache(7)
+	want := make([]Nat, 301)
+	want[0] = Nat{1}
+	for i := 1; i <= 300; i++ {
+		want[i] = Mul(want[i-1], Nat{7})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				n := uint(rng.Intn(301))
+				if got := c.Pow(n); Cmp(got, want[n]) != 0 {
+					t.Errorf("Pow(%d) wrong under concurrency", n)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	if c.Cached() != 301 {
+		t.Errorf("Cached() = %d, want 301", c.Cached())
+	}
+}
+
+// TestPowCachePreload pins the steady-state guarantee: after Preload(n),
+// every Pow up to n is served from the existing snapshot without growth.
+func TestPowCachePreload(t *testing.T) {
+	c := NewPowCache(10)
+	c.Preload(50)
+	if got := c.Cached(); got != 51 {
+		t.Fatalf("Cached() after Preload(50) = %d, want 51", got)
+	}
+	snap := c.Pow(50)
+	for i := uint(0); i <= 50; i++ {
+		c.Pow(i)
+	}
+	if c.Cached() != 51 {
+		t.Errorf("reads below the preload grew the cache to %d entries", c.Cached())
+	}
+	// The returned Nat must be the shared snapshot entry, not a copy per
+	// call (the read path allocates nothing).
+	if again := c.Pow(50); &again[0] != &snap[0] {
+		t.Errorf("Pow(50) returned a fresh copy; read path should share the snapshot")
+	}
+}

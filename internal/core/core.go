@@ -23,7 +23,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"floatprint/internal/bignat"
 	"floatprint/internal/fpformat"
@@ -129,28 +128,46 @@ type Result struct {
 	NSig int
 }
 
-// powTable is a concurrency-safe cache of powers of a fixed base, the
-// analog of the paper's expt-t lookup table (Figure 2).
-type powTable struct {
-	mu sync.Mutex
-	c  *bignat.PowCache
-}
+// powCaches holds one lock-free power cache per supported base, the analog
+// of the paper's expt-t lookup table (Figure 2).  Reads are a single atomic
+// snapshot load (see bignat.PowCache); the caches below are preloaded past
+// the largest exponent a binary64 conversion can request, so steady-state
+// traffic in the common bases never takes the grow lock at all.
+var powCaches [37]*bignat.PowCache
 
-func (t *powTable) pow(n uint) bignat.Nat {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.c.Pow(n)
-}
+// Preload spans: binary64 denormals put e >= -1074, so the input side needs
+// 2^(1-e) up to 2^1075; on the output side |k| <= ~343 for base 10 (the
+// paper's table stops at 10^325 for the narrower K&R double range), with
+// margin for fixed-format positions beyond the value's own scale.
+const (
+	preloadPow2  = 1100
+	preloadPow10 = 400
+	preloadPow16 = 300
+)
 
-var powTables sync.Map // int base -> *powTable
-
-// powersOf returns the shared power cache for base.
-func powersOf(base int) *powTable {
-	if t, ok := powTables.Load(base); ok {
-		return t.(*powTable)
+func init() {
+	for b := 2; b <= 36; b++ {
+		powCaches[b] = bignat.NewPowCache(uint64(b))
 	}
-	t, _ := powTables.LoadOrStore(base, &powTable{c: bignat.NewPowCache(uint64(base))})
-	return t.(*powTable)
+	powCaches[2].Preload(preloadPow2)
+	powCaches[10].Preload(preloadPow10)
+	powCaches[16].Preload(preloadPow16)
+}
+
+// powersOf returns the shared power cache for base (2..36, the range
+// checkArgs admits for output bases and fpformat defines for input bases).
+func powersOf(base int) *bignat.PowCache {
+	if base < 2 || base > 36 {
+		panic(fmt.Sprintf("core: no power cache for base %d", base))
+	}
+	return powCaches[base]
+}
+
+// PowersOf exposes the shared lock-free power cache for base to sibling
+// packages (the evaluation baselines use it so that timing comparisons
+// measure algorithmic work, not redundant power recomputation).
+func PowersOf(base int) *bignat.PowCache {
+	return powersOf(base)
 }
 
 // checkArgs validates the common preconditions of the conversion entry

@@ -23,16 +23,17 @@ func FixedFormat(v fpformat.Value, base int, mode ReaderMode, j int) (Result, er
 	}
 	lowOK, highOK := mode.boundaryOK(v)
 	st := newState(v, base, lowOK, highOK)
+	defer st.release()
 
 	// Compute the output half-ulp Bʲ/2 as a numerator over the common
 	// denominator s.  For negative j every quantity is pre-scaled by B⁻ʲ
 	// so the half-ulp stays an integer (s always carries a factor of 2).
 	var mOut bignat.Nat
 	if j >= 0 {
-		mOut = bignat.Mul(bignat.Shr(st.s, 1), st.pows.pow(uint(j)))
+		mOut = bignat.Mul(bignat.Shr(st.s, 1), st.pows.Pow(uint(j)))
 	} else {
 		mOut = bignat.Shr(st.s, 1)
-		factor := st.pows.pow(uint(-j))
+		factor := st.pows.Pow(uint(-j))
 		st.r = bignat.Mul(st.r, factor)
 		st.s = bignat.Mul(st.s, factor)
 		st.mp = bignat.Mul(st.mp, factor)

@@ -61,8 +61,12 @@ func (st *state) roundUp(t termination) bool {
 }
 
 // generate runs the free-format digit loop, returning the digits and
-// whether the final digit is to be incremented.
+// whether the final digit is to be incremented.  The digit slice is always
+// freshly allocated (it escapes into the Result, never back into the pool);
+// 24 positions cover every binary64 shortest form (at most 17 digits) and
+// most other formats without regrowth.
 func (st *state) generate() (digits []byte, up bool) {
+	digits = make([]byte, 0, 24)
 	for {
 		d := st.nextDigit()
 		digits = append(digits, d)
@@ -111,6 +115,7 @@ func FreeFormat(v fpformat.Value, base int, method Scaling, mode ReaderMode) (Re
 	}
 	lowOK, highOK := mode.boundaryOK(v)
 	st := newState(v, base, lowOK, highOK)
+	defer st.release()
 	k := st.scale(method, v)
 	digits, up := st.generate()
 	if up {

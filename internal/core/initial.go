@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"floatprint/internal/bignat"
 	"floatprint/internal/fpformat"
 )
@@ -9,21 +11,28 @@ import (
 // the scaled value v = r/s and the half-gap widths m⁺/s = (v⁺−v)/2 and
 // m⁻/s = (v−v⁻)/2, all sharing the explicit common denominator s
 // (Section 3.1 of the paper).
+//
+// States are pooled: a conversion obtains one from newState and returns it
+// via release, so the limb buffers behind r, s, m⁺, m⁻ and the scratch
+// values are reused across conversions instead of reallocated.  Nothing in
+// a Result may alias state storage (digit slices are always fresh).
 type state struct {
 	r, s, mp, mm  bignat.Nat
 	hn            bignat.Nat // scratch for the r+m⁺ comparisons
+	t1            bignat.Nat // scratch for ping-pong products (scaleByPow)
 	lowOK, highOK bool
-	base          int       // output base B
-	pows          *powTable // powers of B
-	ops           int       // high-precision operations performed (Table 2 metric)
+	base          int              // output base B
+	pows          *bignat.PowCache // powers of B
+	ops           int              // high-precision operations performed (Table 2 metric)
 }
 
-// ownedCopy clones a Nat that may be shared with a power cache, with slack
-// capacity so the in-place ×B steps rarely reallocate.
-func ownedCopy(n bignat.Nat) bignat.Nat {
-	c := make(bignat.Nat, len(n), len(n)+4)
-	copy(c, n)
-	return c
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+// release returns st to the pool.  The limb buffers stay attached so the
+// next conversion starts with warmed capacity.
+func (st *state) release() {
+	st.pows = nil
+	statePool.Put(st)
 }
 
 // newState initializes r, s, m⁺, and m⁻ from the mantissa and exponent of v
@@ -38,37 +47,42 @@ func newState(v fpformat.Value, base int, lowOK, highOK bool) *state {
 	bPows := powersOf(b)
 	boundary := v.IsBoundary() && v.E > v.Fmt.MinExp
 
-	st := &state{lowOK: lowOK, highOK: highOK, base: base, pows: powersOf(base)}
+	st := statePool.Get().(*state)
+	st.lowOK, st.highOK = lowOK, highOK
+	st.base = base
+	st.pows = powersOf(base)
+	st.ops = 0
 	// m⁺ and m⁻ are copied out of the power cache (never shared) because
-	// the digit loop multiplies them in place.
+	// the digit loop multiplies them in place; the copies land in the
+	// pooled buffers.
 	switch {
 	case e >= 0 && !boundary:
 		// r = f·bᵉ·2, s = 2, m⁺ = m⁻ = bᵉ
-		be := bPows.pow(uint(e))
-		st.r = bignat.Shl(bignat.Mul(f, be), 1)
-		st.s = bignat.FromUint64(2)
-		st.mp = ownedCopy(be)
-		st.mm = ownedCopy(be)
+		be := bPows.Pow(uint(e))
+		st.r = bignat.MulWordInPlace(bignat.MulInto(st.r, f, be), 2)
+		st.s = append(st.s[:0], 2)
+		st.mp = bignat.CopyInto(st.mp, be)
+		st.mm = bignat.CopyInto(st.mm, be)
 	case e >= 0 && boundary:
 		// r = f·bᵉ⁺¹·2, s = b·2, m⁺ = bᵉ⁺¹, m⁻ = bᵉ
-		be := bPows.pow(uint(e))
-		be1 := bPows.pow(uint(e) + 1)
-		st.r = bignat.Shl(bignat.Mul(f, be1), 1)
-		st.s = bignat.FromUint64(uint64(2 * b))
-		st.mp = ownedCopy(be1)
-		st.mm = ownedCopy(be)
+		be := bPows.Pow(uint(e))
+		be1 := bPows.Pow(uint(e) + 1)
+		st.r = bignat.MulWordInPlace(bignat.MulInto(st.r, f, be1), 2)
+		st.s = append(st.s[:0], bignat.Word(2*b))
+		st.mp = bignat.CopyInto(st.mp, be1)
+		st.mm = bignat.CopyInto(st.mm, be)
 	case !boundary:
 		// e < 0: r = f·2, s = b⁻ᵉ·2, m⁺ = m⁻ = 1
-		st.r = bignat.Shl(f, 1)
-		st.s = bignat.Shl(bPows.pow(uint(-e)), 1)
-		st.mp = ownedCopy(bignat.Nat{1})
-		st.mm = ownedCopy(bignat.Nat{1})
+		st.r = bignat.MulWordInPlace(bignat.CopyInto(st.r, f), 2)
+		st.s = bignat.MulWordInPlace(bignat.CopyInto(st.s, bPows.Pow(uint(-e))), 2)
+		st.mp = append(st.mp[:0], 1)
+		st.mm = append(st.mm[:0], 1)
 	default:
 		// e < 0 at a boundary: r = f·b·2, s = b¹⁻ᵉ·2, m⁺ = b, m⁻ = 1
-		st.r = bignat.Shl(bignat.MulWord(f, bignat.Word(b)), 1)
-		st.s = bignat.Shl(bPows.pow(uint(1-e)), 1)
-		st.mp = ownedCopy(bignat.FromUint64(uint64(b)))
-		st.mm = ownedCopy(bignat.Nat{1})
+		st.r = bignat.MulWordInPlace(bignat.CopyInto(st.r, f), bignat.Word(2*b))
+		st.s = bignat.MulWordInPlace(bignat.CopyInto(st.s, bPows.Pow(uint(1-e))), 2)
+		st.mp = append(st.mp[:0], bignat.Word(b))
+		st.mm = append(st.mm[:0], 1)
 	}
 	return st
 }
@@ -100,20 +114,22 @@ func (st *state) tooHigh() bool {
 
 // scaleByPow multiplies the state for a scale estimate est: a non-negative
 // est multiplies the denominator by B^est, a negative one multiplies the
-// numerators by B^(−est) (step 3 of the Section 3.1 procedure).
+// numerators by B^(−est) (step 3 of the Section 3.1 procedure).  Products
+// ping-pong through the t1 scratch so the pooled buffers are reused.
 func (st *state) scaleByPow(est int) {
-	if est != 0 {
-		st.ops++ // one multiplication by a (cached) power
+	if est == 0 {
+		return // B^0 = 1: multiplying through would only copy
 	}
-	if est >= 0 {
-		st.s = bignat.Mul(st.s, st.pows.pow(uint(est)))
+	st.ops++ // one multiplication by a (cached) power
+	if est > 0 {
+		st.s, st.t1 = bignat.MulInto(st.t1, st.s, st.pows.Pow(uint(est))), st.s
 		return
 	}
 	st.ops += 2 // two more multiplications on the numerator side
-	scale := st.pows.pow(uint(-est))
-	st.r = bignat.Mul(st.r, scale)
-	st.mp = bignat.Mul(st.mp, scale)
-	st.mm = bignat.Mul(st.mm, scale)
+	scale := st.pows.Pow(uint(-est))
+	st.r, st.t1 = bignat.MulInto(st.t1, st.r, scale), st.r
+	st.mp, st.t1 = bignat.MulInto(st.t1, st.mp, scale), st.mp
+	st.mm, st.t1 = bignat.MulInto(st.t1, st.mm, scale), st.mm
 }
 
 // stepMul advances the numerators one digit position: r, m⁺, m⁻ ×= B,

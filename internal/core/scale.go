@@ -39,7 +39,7 @@ func (st *state) scaleIterative() int {
 	for st.tooLow() {
 		k++
 		st.ops++
-		st.s = bignat.MulWord(st.s, bignat.Word(st.base))
+		st.s = bignat.MulWordInPlace(st.s, bignat.Word(st.base))
 	}
 	for st.tooHigh() {
 		k--
@@ -60,7 +60,7 @@ func (st *state) scaleFloatLog(v fpformat.Value) int {
 	for st.tooLow() {
 		k++
 		st.ops++
-		st.s = bignat.MulWord(st.s, bignat.Word(st.base))
+		st.s = bignat.MulWordInPlace(st.s, bignat.Word(st.base))
 	}
 	for st.tooHigh() {
 		k--
@@ -101,14 +101,15 @@ func (st *state) scaleEstimate(v fpformat.Value, floorK *int) int {
 		if v.Fmt.Base > st.base || floorK != nil {
 			for {
 				st.ops += 3 // add + multiply + compare
-				hn := bignat.Add(st.r, st.mp)
-				c := bignat.Cmp(hn, bignat.MulWord(st.s, bignat.Word(st.base)))
+				st.hn = bignat.AddInto(st.hn, st.r, st.mp)
+				st.t1 = bignat.MulWordInPlace(bignat.CopyInto(st.t1, st.s), bignat.Word(st.base))
+				c := bignat.Cmp(st.hn, st.t1)
 				if !(c > 0 || (c == 0 && st.highOK)) {
 					break
 				}
 				k++
 				st.ops++
-				st.s = bignat.MulWord(st.s, bignat.Word(st.base))
+				st.s = bignat.MulWordInPlace(st.s, bignat.Word(st.base))
 			}
 		}
 		return k
@@ -164,10 +165,10 @@ func digitLength(f bignat.Nat, b int) int {
 	if l < 1 {
 		l = 1
 	}
-	for l > 1 && bignat.Cmp(f, pows.pow(uint(l-1))) < 0 {
+	for l > 1 && bignat.Cmp(f, pows.Pow(uint(l-1))) < 0 {
 		l--
 	}
-	for bignat.Cmp(f, pows.pow(uint(l))) >= 0 {
+	for bignat.Cmp(f, pows.Pow(uint(l))) >= 0 {
 		l++
 	}
 	return l
@@ -194,9 +195,11 @@ func logBValue(v fpformat.Value, base int) float64 {
 }
 
 // mulBy2Cmp reports whether 2r > s, 2r == s, or 2r < s as +1, 0, -1: the
-// "which candidate is closer to v" comparison at termination.
+// "which candidate is closer to v" comparison at termination.  The doubled
+// remainder lands in the t1 scratch, so the comparison allocates nothing.
 func (st *state) mulBy2Cmp() int {
-	return bignat.Cmp(bignat.Shl(st.r, 1), st.s)
+	st.t1 = bignat.MulWordInPlace(bignat.CopyInto(st.t1, st.r), 2)
+	return bignat.Cmp(st.t1, st.s)
 }
 
 // EstimateScale exposes the paper's two-flop scale-factor estimate
@@ -216,6 +219,7 @@ func ExactScale(v fpformat.Value, base int, mode ReaderMode) (int, error) {
 	}
 	lowOK, highOK := mode.boundaryOK(v)
 	st := newState(v, base, lowOK, highOK)
+	defer st.release()
 	return st.scaleIterative(), nil
 }
 
@@ -230,6 +234,7 @@ func ScaleOps(v fpformat.Value, base int, method Scaling, mode ReaderMode) (k, o
 	}
 	lowOK, highOK := mode.boundaryOK(v)
 	st := newState(v, base, lowOK, highOK)
+	defer st.release()
 	k = st.scale(method, v)
 	return k, st.ops, nil
 }

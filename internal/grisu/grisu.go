@@ -33,43 +33,59 @@ const (
 	maxTargetExp = -32
 )
 
+// BufLen is the smallest digit buffer ShortestInto accepts: the digit
+// generator emits at most 18 significant decimal digits plus slack.
+const BufLen = 20
+
 // Shortest attempts the shortest base-10 conversion of v > 0.
 // On ok, digits are the digit values and K the scale (V = 0.d₁…dₙ × 10ᴷ).
 func Shortest(v float64) (digits []byte, k int, ok bool) {
-	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+	var buf [BufLen]byte
+	n, k, ok := ShortestInto(buf[:], v)
+	if !ok {
 		return nil, 0, false
 	}
-	w, low, high := normalizedBoundaries(v)
-	return shortestFrom(w, low, high)
+	out := make([]byte, n)
+	copy(out, buf[:n]) // digit values, not ASCII
+	return out, k, true
 }
 
-// shortestFrom runs the scaled digit generation for pre-computed aligned
-// boundaries (shared by the float64 and float32 entry points).
-func shortestFrom(w, low, high extfloat.Ext) (digits []byte, k int, ok bool) {
+// ShortestInto is Shortest writing the digit values into buf, which must
+// hold at least BufLen bytes.  It performs no heap allocation, which makes
+// it the substrate for the public package's zero-allocation append path.
+func ShortestInto(buf []byte, v float64) (n, k int, ok bool) {
+	if len(buf) < BufLen || v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, 0, false
+	}
+	w, low, high := normalizedBoundaries(v)
+	return shortestInto(buf, w, low, high)
+}
+
+// shortestInto runs the scaled digit generation for pre-computed aligned
+// boundaries (shared by the float64 and float32 entry points), writing the
+// digits into buf (len >= BufLen) and returning how many were produced.
+func shortestInto(buf []byte, w, low, high extfloat.Ext) (n, k int, ok bool) {
 	// Pick a power of ten whose product lands in the target window.
 	mk, c, ok := cachedPowerFor(high.E + 64)
 	if !ok {
-		return nil, 0, false
+		return 0, 0, false
 	}
 	scaledW := times(w, c)
 	scaledLow := times(low, c)
 	scaledHigh := times(high, c)
 
-	var buf [20]byte
-	length, kappa, ok := digitGen(scaledLow, scaledW, scaledHigh, buf[:])
+	length, kappa, ok := digitGen(scaledLow, scaledW, scaledHigh, buf[:BufLen])
 	if !ok {
-		return nil, 0, false
+		return 0, 0, false
 	}
 	de := -mk + kappa // value = buffer × 10^de
-	out := make([]byte, length)
-	copy(out, buf[:length]) // digit values, not ASCII
 	// The shortest form never needs trailing zeros; defensively trim any
 	// (K is unaffected: 0.d₁…dₙ0 × 10ᴷ = 0.d₁…dₙ × 10ᴷ).
-	n := length
-	for n > 1 && out[n-1] == 0 {
+	n = length
+	for n > 1 && buf[n-1] == 0 {
 		n--
 	}
-	return out[:n], length + de, true
+	return n, length + de, true
 }
 
 // Shortest32 is Shortest for float32 values: the narrower rounding range
@@ -89,7 +105,14 @@ func Shortest32(v float32) (digits []byte, k int, ok bool) {
 		f, e = mant|1<<23, be-150
 	}
 	w, low, high := boundariesFromParts(f, e, mant == 0 && be > 1)
-	return shortestFrom(w, low, high)
+	var buf [BufLen]byte
+	n, k, ok := shortestInto(buf[:], w, low, high)
+	if !ok {
+		return nil, 0, false
+	}
+	out := make([]byte, n)
+	copy(out, buf[:n])
+	return out, k, true
 }
 
 // normalizedBoundaries decodes v into the normalized significand w and the

@@ -111,6 +111,12 @@ type Options struct {
 	NoMarks bool
 }
 
+// defaultOptions is the normalized form of a nil *Options: base 10,
+// nearest-even reader, automatic notation, the fast estimator, marks on.
+func defaultOptions() Options {
+	return Options{Base: 10}
+}
+
 // norm returns o with defaults applied, validating the base.
 func (o *Options) norm() (Options, error) {
 	var v Options

@@ -1,34 +1,49 @@
 package floatprint
 
-import (
-	"strconv"
-	"strings"
-)
+import "strconv"
 
 const digitAlphabet = "0123456789abcdefghijklmnopqrstuvwxyz"
 
 // String renders d with automatic notation and '#' marks, the package's
-// canonical textual form.
+// canonical textual form.  Rendering is driven by the Digits value itself
+// (in particular its Base), so a Digits produced under non-default options
+// prints correctly here.
 func (d Digits) String() string {
-	return d.render(nil)
+	return d.render(defaultOptions())
 }
 
-// render applies the options' notation.
-func (d Digits) render(opts *Options) string {
+// Append appends the rendering of d under opts to dst and returns the
+// extended slice.  Invalid options are rejected here, at the API boundary,
+// before any rendering state is touched; on error dst is returned
+// unchanged.  Append performs no allocation beyond growing dst, so callers
+// that reuse a buffer render with zero allocations per call.
+func (d Digits) Append(dst []byte, opts *Options) ([]byte, error) {
 	o, err := opts.norm()
 	if err != nil {
-		o.Notation = NotationAuto
+		return dst, err
 	}
+	return d.appendRender(dst, o), nil
+}
+
+// render returns the textual form of d under already-normalized options.
+// Validation happens in the public entry points (Options.norm at the API
+// boundary); render itself can no longer observe an invalid Options value.
+func (d Digits) render(o Options) string {
+	return string(d.appendRender(make([]byte, 0, 32), o))
+}
+
+// appendRender applies the options' notation, appending to dst.
+func (d Digits) appendRender(dst []byte, o Options) []byte {
 	switch d.Class {
 	case IsNaN:
-		return "NaN"
+		return append(dst, "NaN"...)
 	case IsInf:
 		if d.Neg {
-			return "-Inf"
+			return append(dst, "-Inf"...)
 		}
-		return "+Inf"
+		return append(dst, "+Inf"...)
 	case IsZero:
-		return d.renderZero(o)
+		return d.appendZero(dst)
 	}
 
 	notation := o.Notation
@@ -42,36 +57,32 @@ func (d Digits) render(opts *Options) string {
 			notation = NotationPositional
 		}
 	}
-	var sb strings.Builder
 	if d.Neg {
-		sb.WriteByte('-')
+		dst = append(dst, '-')
 	}
 	if notation == NotationScientific {
-		d.renderScientific(&sb, o)
-	} else {
-		d.renderPositional(&sb, o)
+		return d.appendScientific(dst, o)
 	}
-	return sb.String()
+	return d.appendPositional(dst, o)
 }
 
-func (d Digits) renderZero(o Options) string {
-	var sb strings.Builder
+func (d Digits) appendZero(dst []byte) []byte {
 	if d.Neg {
-		sb.WriteByte('-')
+		dst = append(dst, '-')
 	}
-	sb.WriteByte('0')
+	dst = append(dst, '0')
 	// Fixed-format zeros carry digit positions: render the fraction when
 	// the positions extend below the radix point.
 	if n := len(d.Digits); n > 1 || (n == 1 && d.K <= 0) {
 		frac := n - d.K
 		if frac > 0 {
-			sb.WriteByte('.')
+			dst = append(dst, '.')
 			for i := 0; i < frac; i++ {
-				sb.WriteByte('0')
+				dst = append(dst, '0')
 			}
 		}
 	}
-	return sb.String()
+	return dst
 }
 
 // digitChar renders one digit, using '#' for insignificant positions.
@@ -82,50 +93,51 @@ func (d Digits) digitChar(i int, o Options) byte {
 	return digitAlphabet[d.Digits[i]]
 }
 
-// renderScientific writes d₁.d₂…dₙ followed by the exponent marker and
+// appendScientific writes d₁.d₂…dₙ followed by the exponent marker and
 // K−1 (the exponent of the leading digit).
-func (d Digits) renderScientific(sb *strings.Builder, o Options) {
-	sb.WriteByte(d.digitChar(0, o))
+func (d Digits) appendScientific(dst []byte, o Options) []byte {
+	dst = append(dst, d.digitChar(0, o))
 	if len(d.Digits) > 1 {
-		sb.WriteByte('.')
+		dst = append(dst, '.')
 		for i := 1; i < len(d.Digits); i++ {
-			sb.WriteByte(d.digitChar(i, o))
+			dst = append(dst, d.digitChar(i, o))
 		}
 	}
 	if d.Base <= 10 {
-		sb.WriteByte('e')
+		dst = append(dst, 'e')
 	} else {
-		sb.WriteByte('@') // 'e' is a digit in bases over 10
+		dst = append(dst, '@') // 'e' is a digit in bases over 10
 	}
-	sb.WriteString(strconv.Itoa(d.K - 1))
+	return strconv.AppendInt(dst, int64(d.K-1), 10)
 }
 
-// renderPositional writes the digits around a radix point at position K.
-func (d Digits) renderPositional(sb *strings.Builder, o Options) {
+// appendPositional writes the digits around a radix point at position K.
+func (d Digits) appendPositional(dst []byte, o Options) []byte {
 	n := len(d.Digits)
 	switch {
 	case d.K <= 0:
-		sb.WriteString("0.")
+		dst = append(dst, '0', '.')
 		for i := 0; i < -d.K; i++ {
-			sb.WriteByte('0')
+			dst = append(dst, '0')
 		}
 		for i := 0; i < n; i++ {
-			sb.WriteByte(d.digitChar(i, o))
+			dst = append(dst, d.digitChar(i, o))
 		}
 	case d.K >= n:
 		for i := 0; i < n; i++ {
-			sb.WriteByte(d.digitChar(i, o))
+			dst = append(dst, d.digitChar(i, o))
 		}
 		for i := n; i < d.K; i++ {
-			sb.WriteByte('0') // value padding below the last digit position
+			dst = append(dst, '0') // value padding below the last digit position
 		}
 	default:
 		for i := 0; i < d.K; i++ {
-			sb.WriteByte(d.digitChar(i, o))
+			dst = append(dst, d.digitChar(i, o))
 		}
-		sb.WriteByte('.')
+		dst = append(dst, '.')
 		for i := d.K; i < n; i++ {
-			sb.WriteByte(d.digitChar(i, o))
+			dst = append(dst, d.digitChar(i, o))
 		}
 	}
+	return dst
 }
