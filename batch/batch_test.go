@@ -1,0 +1,346 @@
+package batch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"floatprint"
+	"floatprint/internal/schryer"
+)
+
+// referenceConcat renders values one by one through the public
+// single-value API: the byte stream every batch configuration must
+// reproduce exactly.
+func referenceConcat(values []float64) ([]byte, []int) {
+	buf := make([]byte, 0, len(values)*perValueBytes)
+	offsets := make([]int, len(values)+1)
+	for i, v := range values {
+		buf = floatprint.AppendShortest(buf, v)
+		offsets[i+1] = len(buf)
+	}
+	return buf, offsets
+}
+
+// testCorpus mixes Schryer values with specials and signs so the batch
+// path also covers NaN/Inf/±0 and the exact-fallback values.
+func testCorpus(n int) []float64 {
+	values := schryer.CorpusN(n)
+	out := make([]float64, 0, len(values)+8)
+	out = append(out, 0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1))
+	for i, v := range values {
+		if i%3 == 1 {
+			v = -v
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestConvertMatchesAppendShortestFullCorpus is the acceptance
+// differential: over the full 250,680-value Schryer corpus, the batch
+// engine's packed output is byte-identical to per-value AppendShortest,
+// for one shard and for NumCPU shards.
+func TestConvertMatchesAppendShortestFullCorpus(t *testing.T) {
+	corpus := schryer.Corpus()
+	if testing.Short() {
+		corpus = corpus[:20000]
+	}
+	wantBuf, wantOffsets := referenceConcat(corpus)
+	for _, shards := range []int{1, runtime.NumCPU()} {
+		p := New(Config{Shards: shards})
+		res, err := p.Convert(context.Background(), corpus)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !bytes.Equal(res.Buf, wantBuf) {
+			t.Fatalf("shards=%d: packed output differs from per-value AppendShortest", shards)
+		}
+		if len(res.Offsets) != len(wantOffsets) {
+			t.Fatalf("shards=%d: %d offsets, want %d", shards, len(res.Offsets), len(wantOffsets))
+		}
+		for i := range wantOffsets {
+			if res.Offsets[i] != wantOffsets[i] {
+				t.Fatalf("shards=%d: offset[%d] = %d, want %d",
+					shards, i, res.Offsets[i], wantOffsets[i])
+			}
+		}
+	}
+}
+
+func TestConvertShardsSpecialsAndSigns(t *testing.T) {
+	values := testCorpus(5000)
+	wantBuf, _ := referenceConcat(values)
+	for _, shards := range []int{1, 2, 3, 7, runtime.NumCPU(), 64} {
+		res, err := New(Config{Shards: shards, ChunkSize: 128}).Convert(context.Background(), values)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !bytes.Equal(res.Buf, wantBuf) {
+			t.Fatalf("shards=%d: output differs", shards)
+		}
+		if res.Len() != len(values) {
+			t.Fatalf("shards=%d: Len = %d, want %d", shards, res.Len(), len(values))
+		}
+		// Value accessor agrees with single-value conversion.
+		for _, i := range []int{0, 1, 2, 3, 4, 17, len(values) - 1} {
+			want := floatprint.AppendShortest(nil, values[i])
+			if got := res.Value(i); !bytes.Equal(got, want) {
+				t.Fatalf("shards=%d: Value(%d) = %q, want %q", shards, i, got, want)
+			}
+		}
+		// Shard stats add up to the totals.
+		vals, bs := 0, 0
+		for _, s := range res.Shards {
+			vals += s.Values
+			bs += s.Bytes
+		}
+		if vals != len(values) || bs != len(res.Buf) {
+			t.Fatalf("shards=%d: shard stats %d values/%d bytes, want %d/%d",
+				shards, vals, bs, len(values), len(res.Buf))
+		}
+	}
+}
+
+func TestConvertEmptyAndTiny(t *testing.T) {
+	res, err := Convert(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 || len(res.Buf) != 0 {
+		t.Fatalf("empty input: %d values, %d bytes", res.Len(), len(res.Buf))
+	}
+	res, err = Convert(context.Background(), []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.Value(0)); got != "0.3" {
+		t.Fatalf("Value(0) = %q", got)
+	}
+}
+
+func TestBatchShortestSequentialAPI(t *testing.T) {
+	values := testCorpus(2000)
+	wantBuf, wantOffsets := referenceConcat(values)
+	res := floatprint.BatchShortest(values)
+	if !bytes.Equal(res.Buf, wantBuf) {
+		t.Fatal("BatchShortest output differs from per-value AppendShortest")
+	}
+	for i := range wantOffsets {
+		if res.Offsets[i] != wantOffsets[i] {
+			t.Fatalf("offset[%d] = %d, want %d", i, res.Offsets[i], wantOffsets[i])
+		}
+	}
+	var sink bytes.Buffer
+	if _, err := res.WriteTo(&sink); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sink.Bytes(), wantBuf) {
+		t.Fatal("WriteTo differs")
+	}
+}
+
+func TestWriteAllMatchesConvert(t *testing.T) {
+	values := testCorpus(30000)
+	wantBuf, _ := referenceConcat(values)
+	for _, shards := range []int{1, 2, runtime.NumCPU()} {
+		for _, chunk := range []int{1, 7, 1024} {
+			var sink bytes.Buffer
+			p := New(Config{Shards: shards, ChunkSize: chunk})
+			n, err := p.WriteAll(context.Background(), values, &sink)
+			if err != nil {
+				t.Fatalf("shards=%d chunk=%d: %v", shards, chunk, err)
+			}
+			if n != int64(len(wantBuf)) || !bytes.Equal(sink.Bytes(), wantBuf) {
+				t.Fatalf("shards=%d chunk=%d: wrote %d bytes, output differs", shards, chunk, n)
+			}
+		}
+	}
+}
+
+func TestWriteAllSeparator(t *testing.T) {
+	values := []float64{1, 0.3, 1e23, math.NaN()}
+	var sink bytes.Buffer
+	p := New(Config{Shards: 2, ChunkSize: 1, Sep: []byte{'\n'}})
+	if _, err := p.WriteAll(context.Background(), values, &sink); err != nil {
+		t.Fatal(err)
+	}
+	want := "1\n0.3\n1e23\nNaN\n"
+	if sink.String() != want {
+		t.Fatalf("got %q, want %q", sink.String(), want)
+	}
+}
+
+func TestConvertCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Convert(ctx, schryer.CorpusN(10000)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Convert: err = %v", err)
+	}
+
+	// Cancel mid-flight: a tiny chunk size makes workers observe it.
+	values := schryer.CorpusN(200000)
+	ctx, cancel = context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := New(Config{Shards: 2, ChunkSize: 16}).Convert(ctx, values)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel: err = %v", err)
+	}
+}
+
+func TestWriteAllCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sink bytes.Buffer
+	if _, err := New(Config{Shards: 4}).WriteAll(ctx, schryer.CorpusN(50000), &sink); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled WriteAll: err = %v", err)
+	}
+}
+
+// failingWriter fails after the first write, exercising the writer-error
+// shutdown path (cancel, drain, no deadlock).
+type failingWriter struct{ writes int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > 1 {
+		return 0, errors.New("sink full")
+	}
+	return len(p), nil
+}
+
+func TestWriteAllWriterError(t *testing.T) {
+	values := schryer.CorpusN(50000)
+	for _, shards := range []int{1, runtime.NumCPU()} {
+		fw := &failingWriter{}
+		_, err := New(Config{Shards: shards, ChunkSize: 512}).WriteAll(context.Background(), values, fw)
+		if err == nil || err.Error() != "sink full" {
+			t.Fatalf("shards=%d: err = %v, want sink full", shards, err)
+		}
+	}
+}
+
+// TestConcurrentBatchRace is the -race twin: several goroutines run
+// Convert and WriteAll on one shared Pool at once, with telemetry
+// enabled so the counter hooks race-test too.
+func TestConcurrentBatchRace(t *testing.T) {
+	prev := floatprint.SetStatsEnabled(true)
+	defer floatprint.SetStatsEnabled(prev)
+
+	values := testCorpus(8000)
+	wantBuf, _ := referenceConcat(values)
+	p := New(Config{Shards: 4, ChunkSize: 256})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				res, err := p.Convert(context.Background(), values)
+				if err != nil {
+					t.Errorf("Convert: %v", err)
+					return
+				}
+				if !bytes.Equal(res.Buf, wantBuf) {
+					t.Error("concurrent Convert output differs")
+				}
+			} else {
+				var sink bytes.Buffer
+				if _, err := p.WriteAll(context.Background(), values, &sink); err != nil {
+					t.Errorf("WriteAll: %v", err)
+					return
+				}
+				if !bytes.Equal(sink.Bytes(), wantBuf) {
+					t.Error("concurrent WriteAll output differs")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestBatchTelemetry(t *testing.T) {
+	floatprint.ResetStats()
+	prev := floatprint.SetStatsEnabled(true)
+	defer floatprint.SetStatsEnabled(prev)
+
+	values := schryer.CorpusN(4000)
+	before := floatprint.Snapshot()
+	res, err := New(Config{Shards: 4}).Convert(context.Background(), values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := floatprint.Snapshot().Sub(before)
+	if d.BatchValues != uint64(len(values)) {
+		t.Fatalf("BatchValues = %d, want %d", d.BatchValues, len(values))
+	}
+	if d.BatchBytes != uint64(len(res.Buf)) {
+		t.Fatalf("BatchBytes = %d, want %d", d.BatchBytes, len(res.Buf))
+	}
+	if d.GrisuHits+d.GrisuMisses < uint64(len(values)) {
+		t.Fatalf("path telemetry below corpus size: %+v", d)
+	}
+}
+
+// Parallel benchmarks: batch throughput by shard count.  Run with
+// -cpu=1,2,4,... or read the per-shard rows directly.
+func BenchmarkBatchConvert(b *testing.B) {
+	values := schryer.CorpusN(65536)
+	for _, shards := range []int{1, 2, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p := New(Config{Shards: shards})
+			b.SetBytes(int64(len(values) * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Convert(context.Background(), values); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(values))*float64(b.N)/b.Elapsed().Seconds(), "values/s")
+		})
+	}
+}
+
+// discard is io.Discard without the interface-dispatch noise.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func BenchmarkBatchWriteAll(b *testing.B) {
+	values := schryer.CorpusN(65536)
+	for _, shards := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p := New(Config{Shards: shards, Sep: []byte{'\n'}})
+			b.SetBytes(int64(len(values) * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.WriteAll(context.Background(), values, discard{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(values))*float64(b.N)/b.Elapsed().Seconds(), "values/s")
+		})
+	}
+}
+
+func BenchmarkBatchSequentialReference(b *testing.B) {
+	values := schryer.CorpusN(65536)
+	b.SetBytes(int64(len(values) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		floatprint.BatchShortest(values)
+	}
+	b.ReportMetric(float64(len(values))*float64(b.N)/b.Elapsed().Seconds(), "values/s")
+}

@@ -53,10 +53,56 @@ func TestCLIFpbenchSmall(t *testing.T) {
 	}
 }
 
+// runToolExpectError is runTool for invocations that must exit
+// non-zero; it fails the test if the command succeeds.
+func runToolExpectError(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI end-to-end test in short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v exited 0, want failure\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
 func TestCLIFpverifySmall(t *testing.T) {
 	out := runTool(t, "fpverify", "-n", "2000")
 	if !strings.Contains(out, "all checks passed") {
 		t.Errorf("fpverify output:\n%s", out)
+	}
+}
+
+// TestCLIFpverifyFailureExit pins the CI contract: when any mismatch is
+// recorded, fpverify must exit non-zero and print a FAILURES summary
+// line (checked here via the synthetic -inject-failure mismatch).
+func TestCLIFpverifyFailureExit(t *testing.T) {
+	out := runToolExpectError(t, "fpverify", "-n", "1", "-inject-failure")
+	if !strings.Contains(out, "1 FAILURES") {
+		t.Errorf("fpverify failure summary missing:\n%s", out)
+	}
+	if strings.Contains(out, "all checks passed") {
+		t.Errorf("fpverify claimed success while failing:\n%s", out)
+	}
+}
+
+func TestCLIFpbenchBatch(t *testing.T) {
+	out := runTool(t, "fpbench", "-batch", "-n", "3000")
+	for _, want := range []string{"shards", "values/s", "verified byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fpbench -batch missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIFpbenchStats(t *testing.T) {
+	out := runTool(t, "fpbench", "-stats", "-n", "2000")
+	for _, want := range []string{"mean shortest digits", "grisu hit rate", "exact free-format"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fpbench -stats missing %q:\n%s", want, out)
+		}
 	}
 }
 

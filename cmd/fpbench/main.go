@@ -4,8 +4,10 @@
 //	fpbench -table 2     Table 2: relative cost of the three scaling algorithms
 //	fpbench -table 3     Table 3: free vs fixed vs printf, mis-rounding count
 //	fpbench -stats       §5 statistic: mean shortest-digit count (paper: 15.2)
+//	                     plus the path-hit telemetry (grisu/Gay/exact mix)
 //	fpbench -ablation    estimator accuracy: Burger-Dybvig vs Gay
 //	fpbench -parallel    concurrent-conversion scaling with goroutine count
+//	fpbench -batch       batch-engine corpus throughput, 1 shard vs NumCPU
 //	fpbench -all         everything
 //	fpbench -n 50000     corpus size (default: the paper's full 250,680)
 //
@@ -28,15 +30,16 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "reproduce one table (2 or 3)")
-	stats := flag.Bool("stats", false, "mean shortest-digit statistic")
+	stats := flag.Bool("stats", false, "mean shortest-digit statistic and path-hit telemetry")
 	ablation := flag.Bool("ablation", false, "estimator accuracy ablation")
 	successors := flag.Bool("successors", false, "compare with Grisu3 and Ryu (follow-on work)")
 	parallel := flag.Bool("parallel", false, "concurrent shortest-conversion scaling")
+	batchF := flag.Bool("batch", false, "batch-engine corpus throughput (1 shard vs NumCPU)")
 	all := flag.Bool("all", false, "run every experiment")
 	n := flag.Int("n", schryer.CorpusSize, "corpus size (max 250680)")
 	flag.Parse()
 
-	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel {
+	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel && !*batchF {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -69,6 +72,33 @@ func main() {
 	if *all || *parallel {
 		runParallel(corpus)
 	}
+	if *all || *batchF {
+		if err := runBatch(corpus); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runBatch reports batch-engine throughput over the corpus for one
+// shard and NumCPU shards, then verifies the acceptance invariant that
+// the packed output is byte-identical to per-value AppendShortest.
+func runBatch(corpus []float64) error {
+	shardCounts := []int{1}
+	if cpus := runtime.NumCPU(); cpus > 1 {
+		shardCounts = append(shardCounts, cpus)
+	}
+	fmt.Println("== Batch engine: corpus throughput by shard count ==")
+	rows, err := harness.RunBatch(corpus, shardCounts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderBatch(rows, len(corpus)))
+	if err := harness.VerifyBatch(corpus, shardCounts); err != nil {
+		return err
+	}
+	fmt.Println("batch output verified byte-identical to per-value AppendShortest")
+	fmt.Println()
+	return nil
 }
 
 // runParallel measures aggregate shortest-conversion throughput as the
@@ -152,6 +182,32 @@ func runStats(corpus []float64) error {
 		return err
 	}
 	fmt.Printf("mean shortest digits: %.2f (paper: 15.2 over its corpus)\n\n", res.MeanDigits)
+
+	// Path-hit telemetry: drive the public hot paths over the corpus with
+	// collection enabled and report which algorithm decided each value, so
+	// the throughput tables above are interpretable (a run where grisu
+	// certifies ~99.5% measures fixed-point arithmetic; the rest is the
+	// exact big-integer algorithm).
+	fmt.Println("== Path-hit telemetry (floatprint.Snapshot) ==")
+	prev := floatprint.SetStatsEnabled(true)
+	before := floatprint.Snapshot()
+	buf := make([]byte, 0, 64)
+	for _, v := range corpus {
+		buf = floatprint.AppendShortest(buf[:0], v)
+	}
+	// 15 digits keeps Gay's heuristic in its intended regime ("when the
+	// requested number of digits is small"); at 16-17 the accumulated
+	// extended-float error always spans a boundary and every value falls
+	// back to the exact algorithm.
+	for _, v := range corpus[:min(len(corpus), 20000)] {
+		buf = floatprint.AppendFixed(buf[:0], v, 15)
+	}
+	delta := floatprint.Snapshot().Sub(before)
+	floatprint.SetStatsEnabled(prev)
+	fmt.Printf("shortest over %d values, fixed(15) over %d values:\n",
+		len(corpus), min(len(corpus), 20000))
+	fmt.Print(delta.String())
+	fmt.Println()
 	return nil
 }
 

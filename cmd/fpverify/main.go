@@ -29,9 +29,18 @@ var failures int
 func main() {
 	n := flag.Int("n", 100000, "number of random float64 trials")
 	seed := flag.Int64("seed", 1, "random seed")
+	injectFailure := flag.Bool("inject-failure", false,
+		"record one synthetic mismatch (exercises the failure summary and exit status)")
 	flag.Parse()
 
 	r := rand.New(rand.NewSource(*seed))
+
+	// The CI contract of this tool is its exit status: any mismatch must
+	// end the process non-zero with a FAILURES summary.  -inject-failure
+	// lets the e2e suite prove that path without a real conversion bug.
+	if *injectFailure {
+		report("injected failure (requested via -inject-failure)", 0, "synthetic", nil)
+	}
 
 	fmt.Println("fpverify: shortest round-trip + minimality vs strconv")
 	count := 0

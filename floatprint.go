@@ -8,6 +8,7 @@ import (
 	"floatprint/internal/fastpath"
 	"floatprint/internal/fpformat"
 	"floatprint/internal/grisu"
+	"floatprint/internal/stats"
 )
 
 // Class labels what a Digits value represents.
@@ -69,6 +70,7 @@ func ShortestDigits32(v float32, opts *Options) (Digits, error) {
 	}
 	if o.Base == 10 && o.Scaling == ScalingEstimate {
 		if digits, k, ok := grisu.Shortest32(float32(math.Abs(float64(v)))); ok {
+			stats.GrisuHits.Inc()
 			return Digits{
 				Class: Finite, Neg: math.Signbit(float64(v)),
 				Digits: digits, K: k, NSig: len(digits), Base: 10,
@@ -92,17 +94,20 @@ func shortestValue(val fpformat.Value, o Options) (Digits, error) {
 	if o.Base == 10 && val.Fmt == fpformat.Binary64 && o.Scaling == ScalingEstimate {
 		if v, verr := abs(val).Float64(); verr == nil {
 			if digits, k, ok := grisu.Shortest(v); ok {
+				stats.GrisuHits.Inc()
 				return Digits{
 					Class: Finite, Neg: val.Neg,
 					Digits: digits, K: k, NSig: len(digits), Base: 10,
 				}, nil
 			}
+			stats.GrisuMisses.Inc()
 		}
 	}
 	res, err := core.FreeFormat(abs(val), o.Base, o.Scaling.core(), o.Reader.core())
 	if err != nil {
 		return Digits{}, err
 	}
+	stats.ExactFree.Inc()
 	return fromResult(res, val.Neg, o.Base), nil
 }
 
@@ -150,17 +155,20 @@ func fixedValue(val fpformat.Value, n int, o Options) (Digits, error) {
 		v, verr := abs(val).Float64()
 		if verr == nil {
 			if digits, k, ok := fastpath.TryFixed(v, n); ok {
+				stats.GayHits.Inc()
 				return Digits{
 					Class: Finite, Neg: val.Neg,
 					Digits: digits, K: k, NSig: n, Base: 10,
 				}, nil
 			}
+			stats.GayMisses.Inc()
 		}
 	}
 	res, err := core.FixedFormatRelative(abs(val), o.Base, o.Reader.core(), n)
 	if err != nil {
 		return Digits{}, err
 	}
+	stats.ExactFixed.Inc()
 	return fromResult(res, val.Neg, o.Base), nil
 }
 
@@ -188,6 +196,7 @@ func fixedPositionValue(val fpformat.Value, pos int, o Options) (Digits, error) 
 	if err != nil {
 		return Digits{}, err
 	}
+	stats.ExactFixed.Inc()
 	return fromResult(res, val.Neg, o.Base), nil
 }
 
@@ -277,6 +286,7 @@ func AppendShortest(dst []byte, v float64) []byte {
 	}
 	var buf [grisu.BufLen]byte
 	if n, k, ok := grisu.ShortestInto(buf[:], math.Abs(v)); ok {
+		stats.GrisuHits.Inc()
 		d := Digits{
 			Class: Finite, Neg: math.Signbit(v),
 			Digits: buf[:n], K: k, NSig: n, Base: 10,

@@ -1,0 +1,124 @@
+package floatprint
+
+// Native Go fuzz targets, grown out of cmd/fpfuzz's structured
+// generators: the seed corpus below reproduces one representative of
+// each fpfuzz value class (uniform bits, binade edges, denormals,
+// decimal neighbors, long 9/0 runs), and the fuzzer mutates from there.
+// CI runs each target as a short smoke on every PR and for 60 seconds
+// in the nightly scheduled job; `go test ./...` exercises just the
+// seeds.
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"floatprint/internal/core"
+	"floatprint/internal/fpformat"
+)
+
+// fuzzSeeds is one representative per fpfuzz generator class, as raw
+// float64 bits.
+var fuzzSeeds = []uint64{
+	0x3FD5555555555555,                   // uniform-bits: 1/3
+	math.Float64bits(1.0),                // binade edge: power of two
+	math.Float64bits(1.0) | 1,            // binade edge: successor
+	0x3FF << 52,                          // binade edge again, explicit
+	(0x3FF << 52) | (1<<52 - 1),          // binade edge: all-ones mantissa
+	1,                                    // smallest denormal
+	0xFFFFFFFFFFFFF,                      // largest denormal
+	math.Float64bits(5e-324),             // denormal, decimal form
+	math.Float64bits(1e23),               // decimal neighbor: the paper's 1e23
+	math.Float64bits(1e23) + 2,           // a few ulps up
+	math.Float64bits(9.109383632e-31),    // decimal neighbor, small scale
+	(0x3FF << 52) | ((1<<30 - 1) << 22),  // long-prefix: run of ones
+	(0x3FF << 52) | ((1<<52 - 1) ^ 0xAB), // long-prefix: nines run
+	math.Float64bits(math.MaxFloat64),    // extremes
+	math.Float64bits(math.SmallestNonzeroFloat64),
+	math.Float64bits(0.3), // short decimal
+}
+
+// sigDigits counts significant digits in a rendered decimal (the
+// minimality metric fpverify uses).
+func sigDigits(s string) int {
+	if i := strings.IndexAny(s, "eE"); i >= 0 {
+		s = s[:i]
+	}
+	keep := strings.Map(func(r rune) rune {
+		if r >= '0' && r <= '9' {
+			return r
+		}
+		return -1
+	}, s)
+	keep = strings.Trim(keep, "0")
+	if keep == "" {
+		return 1
+	}
+	return len(keep)
+}
+
+// FuzzShortestRoundTrip checks, for any float64 bit pattern, that the
+// shortest output round-trips bit-exactly through strconv, is never
+// longer than strconv's own shortest form, and that our reader agrees
+// with strconv's on strconv's rendering.
+func FuzzShortestRoundTrip(f *testing.F) {
+	for _, bits := range fuzzSeeds {
+		f.Add(bits)
+	}
+	f.Fuzz(func(t *testing.T, bits uint64) {
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Skip()
+		}
+		s := Shortest(v)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.Float64bits(back) != math.Float64bits(v) {
+			t.Fatalf("round-trip: v=%x %g printed %q read back %g err=%v",
+				bits, v, s, back, err)
+		}
+		want := strconv.FormatFloat(v, 'e', -1, 64)
+		if sigDigits(s) > sigDigits(want) {
+			t.Fatalf("minimality: v=%x %q has more digits than strconv's %q", bits, s, want)
+		}
+		ours, err := Parse(want, nil)
+		if err != nil || math.Float64bits(ours) != math.Float64bits(v) {
+			t.Fatalf("parse agreement: v=%x strconv prints %q, our Parse reads %g err=%v",
+				bits, want, ours, err)
+		}
+	})
+}
+
+// FuzzFixedVsExact checks that FixedDigits — Gay's certified fast path
+// plus exact fallback — always equals the exact big-integer
+// fixed-format algorithm, for any value and any digit count 1..17.
+// A certified fast-path result that differed from the exact output
+// would be the fast path lying, the one thing its certificate must
+// make impossible.
+func FuzzFixedVsExact(f *testing.F) {
+	for i, bits := range fuzzSeeds {
+		f.Add(bits, uint8(i+1))
+	}
+	f.Fuzz(func(t *testing.T, bits uint64, nRaw uint8) {
+		n := int(nRaw)%17 + 1
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			t.Skip()
+		}
+		got, err := FixedDigits(v, n, nil)
+		if err != nil {
+			t.Fatalf("FixedDigits(%x, %d): %v", bits, n, err)
+		}
+		val := fpformat.DecodeFloat64(v)
+		res, err := core.FixedFormatRelative(abs(val), 10, core.ReaderNearestEven, n)
+		if err != nil {
+			t.Fatalf("exact FixedFormatRelative(%x, %d): %v", bits, n, err)
+		}
+		want := fromResult(res, val.Neg, 10)
+		if got.Class != want.Class || got.Neg != want.Neg ||
+			got.K != want.K || got.NSig != want.NSig ||
+			string(got.Digits) != string(want.Digits) {
+			t.Fatalf("fixed(%x, n=%d): fast-path result %+v, exact %+v", bits, n, got, want)
+		}
+	})
+}

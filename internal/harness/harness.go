@@ -8,11 +8,15 @@
 package harness
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
+	"floatprint"
+	"floatprint/batch"
 	"floatprint/internal/baseline"
 	"floatprint/internal/core"
 	"floatprint/internal/fpformat"
@@ -296,6 +300,91 @@ func RunSuccessors(corpus []float64) ([]SuccessorRow, error) {
 		rows[i].Relative = rows[i].Elapsed.Seconds() / base
 	}
 	return rows, nil
+}
+
+// BatchRow is one shard-count measurement of the batch engine's corpus
+// throughput.
+type BatchRow struct {
+	Shards       int
+	Elapsed      time.Duration // best of batchRuns passes
+	ValuesPerSec float64
+	MBPerSec     float64 // output bytes per second
+	Speedup      float64 // vs the first row
+}
+
+// batchRuns is how many times each configuration converts the corpus;
+// the fastest pass is reported (standard practice for throughput
+// numbers, since stray scheduling noise only ever slows a run down).
+const batchRuns = 3
+
+// RunBatch measures batch-engine corpus throughput for each shard
+// count, in the spirit of the paper's Table 2/3 timing methodology
+// (convert the whole corpus, discard the output, report wall time).
+func RunBatch(corpus []float64, shardCounts []int) ([]BatchRow, error) {
+	rows := make([]BatchRow, 0, len(shardCounts))
+	for _, shards := range shardCounts {
+		p := batch.New(batch.Config{Shards: shards})
+		var best time.Duration
+		var bytesOut int
+		for run := 0; run < batchRuns; run++ {
+			start := time.Now()
+			res, err := p.Convert(context.Background(), corpus)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			bytesOut = len(res.Buf)
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		rows = append(rows, BatchRow{
+			Shards:       shards,
+			Elapsed:      best,
+			ValuesPerSec: float64(len(corpus)) / best.Seconds(),
+			MBPerSec:     float64(bytesOut) / 1e6 / best.Seconds(),
+		})
+	}
+	if len(rows) > 0 {
+		base := rows[0].ValuesPerSec
+		for i := range rows {
+			rows[i].Speedup = rows[i].ValuesPerSec / base
+		}
+	}
+	return rows, nil
+}
+
+// RenderBatch formats the batch throughput rows.
+func RenderBatch(rows []BatchRow, corpus int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "corpus size: %d values (best of %d passes per row)\n", corpus, batchRuns)
+	fmt.Fprintf(&sb, "%8s %12s %14s %10s %9s\n", "shards", "time", "values/s", "MB/s", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8d %12s %14.0f %10.1f %8.2fx\n",
+			r.Shards, r.Elapsed.Round(time.Microsecond), r.ValuesPerSec, r.MBPerSec, r.Speedup)
+	}
+	return sb.String()
+}
+
+// VerifyBatch checks the acceptance invariant behind the throughput
+// numbers: the batch engine's packed output is byte-identical to
+// per-value AppendShortest over the corpus, for every given shard
+// count.
+func VerifyBatch(corpus []float64, shardCounts []int) error {
+	want := make([]byte, 0, len(corpus)*24)
+	for _, v := range corpus {
+		want = floatprint.AppendShortest(want, v)
+	}
+	for _, shards := range shardCounts {
+		res, err := batch.New(batch.Config{Shards: shards}).Convert(context.Background(), corpus)
+		if err != nil {
+			return fmt.Errorf("batch convert (shards=%d): %w", shards, err)
+		}
+		if !bytes.Equal(res.Buf, want) {
+			return fmt.Errorf("batch output (shards=%d) differs from per-value AppendShortest", shards)
+		}
+	}
+	return nil
 }
 
 // RenderSuccessors formats the generational comparison.

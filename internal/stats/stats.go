@@ -1,0 +1,137 @@
+// Package stats is the conversion-path telemetry layer: a handful of
+// process-global atomic counters that record which algorithm actually
+// produced each result — the certified Grisu3 fast path, Gay's
+// fixed-format fast path, or the exact big-integer fallback — plus the
+// aggregate value/byte totals of the batch engine.
+//
+// The counters exist to make the paper's Table-2/3 style measurements
+// self-describing: a throughput number is only meaningful alongside the
+// path mix that produced it (~99.5% of shortest conversions should be
+// certified Grisu3 hits; a corpus that drives the exact path harder is
+// measuring a different algorithm).
+//
+// Collection is off by default and enabled with Enable(true): when
+// disabled, every hot-path hook is a single predictable branch on an
+// atomic bool load (a plain MOV on x86), so the telemetry layer costs
+// nothing unless someone is looking.  When enabled, each hook is one
+// uncontended atomic add on a counter padded to its own cache line, so
+// concurrent shards never false-share.
+package stats
+
+import "sync/atomic"
+
+// enabled gates all Counter increments.  It is atomic so Enable can be
+// called while conversions are in flight (fpbench toggles it between
+// experiment phases).
+var enabled atomic.Bool
+
+// Enable turns collection on or off and returns the previous setting.
+func Enable(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is one telemetry counter, padded so that adjacent counters in
+// the package-level block sit on distinct cache lines (the hooks run on
+// every conversion from every shard; false sharing between, say, the
+// grisu-hit and batch-bytes counters would serialize unrelated workers).
+type Counter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Inc adds one when collection is enabled.
+func (c *Counter) Inc() {
+	if enabled.Load() {
+		c.n.Add(1)
+	}
+}
+
+// Add adds n when collection is enabled.  Batch shards use it to fold a
+// whole chunk's tally into the global counter with one atomic op.
+func (c *Counter) Add(n uint64) {
+	if enabled.Load() {
+		c.n.Add(n)
+	}
+}
+
+// Load returns the current count regardless of the enabled gate.
+func (c *Counter) Load() uint64 { return c.n.Load() }
+
+// The counters.  Hit/miss pairs count only conversions where the fast
+// path was *attempted* (base 10, binary64, default scaling); ExactFree
+// and ExactFixed count every conversion that ran the exact big-integer
+// algorithm, including those where no fast path applied (other bases,
+// non-default scaling, explicit positions).
+var (
+	// GrisuHits counts shortest conversions certified by the Grisu3 fast
+	// path.
+	GrisuHits Counter
+	// GrisuMisses counts shortest conversions where Grisu3 was attempted
+	// but failed certification and the exact algorithm decided.
+	GrisuMisses Counter
+	// GayHits counts fixed-format conversions certified by Gay's
+	// extended-float fast path.
+	GayHits Counter
+	// GayMisses counts fixed-format conversions where the fast path was
+	// attempted but declined.
+	GayMisses Counter
+	// ExactFree counts exact free-format (shortest) conversions.
+	ExactFree Counter
+	// ExactFixed counts exact fixed-format conversions (relative or
+	// absolute position).
+	ExactFixed Counter
+	// BatchValues counts values converted by the batch engine.
+	BatchValues Counter
+	// BatchBytes counts output bytes produced by the batch engine.
+	BatchBytes Counter
+)
+
+// Snapshot is a coherent-enough copy of every counter: each field is an
+// atomic load, so a snapshot taken while conversions are in flight may
+// straddle an individual conversion but never tears a counter.
+type Snapshot struct {
+	GrisuHits, GrisuMisses  uint64
+	GayHits, GayMisses      uint64
+	ExactFree, ExactFixed   uint64
+	BatchValues, BatchBytes uint64
+}
+
+// Read snapshots all counters.
+func Read() Snapshot {
+	return Snapshot{
+		GrisuHits:   GrisuHits.Load(),
+		GrisuMisses: GrisuMisses.Load(),
+		GayHits:     GayHits.Load(),
+		GayMisses:   GayMisses.Load(),
+		ExactFree:   ExactFree.Load(),
+		ExactFixed:  ExactFixed.Load(),
+		BatchValues: BatchValues.Load(),
+		BatchBytes:  BatchBytes.Load(),
+	}
+}
+
+// Sub returns the per-field difference s − prev, the path mix of the
+// work done between two Read calls.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		GrisuHits:   s.GrisuHits - prev.GrisuHits,
+		GrisuMisses: s.GrisuMisses - prev.GrisuMisses,
+		GayHits:     s.GayHits - prev.GayHits,
+		GayMisses:   s.GayMisses - prev.GayMisses,
+		ExactFree:   s.ExactFree - prev.ExactFree,
+		ExactFixed:  s.ExactFixed - prev.ExactFixed,
+		BatchValues: s.BatchValues - prev.BatchValues,
+		BatchBytes:  s.BatchBytes - prev.BatchBytes,
+	}
+}
+
+// Reset zeroes every counter (tests and benchmark phases).
+func Reset() {
+	for _, c := range []*Counter{
+		&GrisuHits, &GrisuMisses, &GayHits, &GayMisses,
+		&ExactFree, &ExactFixed, &BatchValues, &BatchBytes,
+	} {
+		c.n.Store(0)
+	}
+}

@@ -1,0 +1,99 @@
+package floatprint
+
+import (
+	"fmt"
+	"strings"
+
+	"floatprint/internal/stats"
+)
+
+// Stats is a snapshot of the package's conversion-path telemetry: how
+// many conversions each algorithm actually decided.  The paper's
+// evaluation is a throughput table; the path mix is what makes such a
+// number interpretable (a corpus where the certified Grisu3 fast path
+// hits ~99.5% measures fixed-point arithmetic, one where it misses
+// measures the exact big-integer algorithm).
+//
+// Hit/miss pairs count conversions where the fast path was attempted
+// (base 10, binary64, default scaling); ExactFree and ExactFixed count
+// every run of the exact algorithm, including conversions where no fast
+// path applied at all (other bases, benchmark scalings, absolute
+// positions).  BatchValues and BatchBytes total the batch engine's
+// output.
+type Stats struct {
+	GrisuHits   uint64 // shortest conversions certified by Grisu3
+	GrisuMisses uint64 // Grisu3 attempted, failed certification
+	GayHits     uint64 // fixed conversions certified by Gay's fast path
+	GayMisses   uint64 // Gay fast path attempted, declined
+	ExactFree   uint64 // exact free-format (shortest) conversions
+	ExactFixed  uint64 // exact fixed-format conversions
+	BatchValues uint64 // values converted by the batch engine
+	BatchBytes  uint64 // bytes produced by the batch engine
+}
+
+// Snapshot returns the current telemetry counters.  Counters only
+// advance while collection is enabled (SetStatsEnabled); a snapshot
+// taken during concurrent conversions is per-field atomic.
+func Snapshot() Stats { return fromSnap(stats.Read()) }
+
+// SetStatsEnabled turns telemetry collection on or off, returning the
+// previous setting.  Collection is off by default: when disabled every
+// instrumentation point is a single branch on an atomic bool, so the
+// hot path pays nothing.  When enabled, each conversion adds one
+// cache-line-padded atomic increment.
+func SetStatsEnabled(on bool) bool { return stats.Enable(on) }
+
+// ResetStats zeroes all telemetry counters.
+func ResetStats() { stats.Reset() }
+
+// Sub returns the per-field difference s − prev: the path mix of the
+// work done between two Snapshot calls.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		GrisuHits:   s.GrisuHits - prev.GrisuHits,
+		GrisuMisses: s.GrisuMisses - prev.GrisuMisses,
+		GayHits:     s.GayHits - prev.GayHits,
+		GayMisses:   s.GayMisses - prev.GayMisses,
+		ExactFree:   s.ExactFree - prev.ExactFree,
+		ExactFixed:  s.ExactFixed - prev.ExactFixed,
+		BatchValues: s.BatchValues - prev.BatchValues,
+		BatchBytes:  s.BatchBytes - prev.BatchBytes,
+	}
+}
+
+// String renders the path mix as a small report, one counter per line,
+// with fast-path hit rates where a ratio is meaningful.
+func (s Stats) String() string {
+	var sb strings.Builder
+	line := func(name string, v uint64) {
+		fmt.Fprintf(&sb, "  %-22s %12d\n", name, v)
+	}
+	rate := func(name string, hits, misses uint64) {
+		line(name+" hits", hits)
+		line(name+" misses", misses)
+		if total := hits + misses; total > 0 {
+			fmt.Fprintf(&sb, "  %-22s %11.2f%%\n", name+" hit rate",
+				100*float64(hits)/float64(total))
+		}
+	}
+	rate("grisu", s.GrisuHits, s.GrisuMisses)
+	rate("gay fast-path", s.GayHits, s.GayMisses)
+	line("exact free-format", s.ExactFree)
+	line("exact fixed-format", s.ExactFixed)
+	line("batch values", s.BatchValues)
+	line("batch bytes", s.BatchBytes)
+	return sb.String()
+}
+
+func fromSnap(s stats.Snapshot) Stats {
+	return Stats{
+		GrisuHits:   s.GrisuHits,
+		GrisuMisses: s.GrisuMisses,
+		GayHits:     s.GayHits,
+		GayMisses:   s.GayMisses,
+		ExactFree:   s.ExactFree,
+		ExactFixed:  s.ExactFixed,
+		BatchValues: s.BatchValues,
+		BatchBytes:  s.BatchBytes,
+	}
+}

@@ -1,0 +1,99 @@
+package floatprint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsDisabledByDefault(t *testing.T) {
+	ResetStats()
+	Shortest(0.3)
+	if s := Snapshot(); s != (Stats{}) {
+		t.Fatalf("counters advanced while disabled: %+v", s)
+	}
+}
+
+func TestStatsPathMix(t *testing.T) {
+	ResetStats()
+	prev := SetStatsEnabled(true)
+	defer SetStatsEnabled(prev)
+
+	before := Snapshot()
+	// 0.3 certifies on grisu; FixedDigits(0.3, 6) certifies on Gay's
+	// fast path; a base-16 conversion can only take the exact path.
+	Shortest(0.3)
+	if _, err := FixedDigits(0.3, 6, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Format(0.3, &Options{Base: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FixedPositionDigits(123.456, -2, nil); err != nil {
+		t.Fatal(err)
+	}
+	d := Snapshot().Sub(before)
+	if d.GrisuHits != 1 {
+		t.Errorf("GrisuHits = %d, want 1", d.GrisuHits)
+	}
+	if d.GayHits != 1 {
+		t.Errorf("GayHits = %d, want 1", d.GayHits)
+	}
+	if d.ExactFree != 1 {
+		t.Errorf("ExactFree = %d, want 1 (base-16 format)", d.ExactFree)
+	}
+	if d.ExactFixed != 1 {
+		t.Errorf("ExactFixed = %d, want 1 (fixed position)", d.ExactFixed)
+	}
+
+	out := d.String()
+	for _, want := range []string{"grisu hit rate", "gay fast-path hits", "exact free-format"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats.String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsFallbackCounting(t *testing.T) {
+	ResetStats()
+	prev := SetStatsEnabled(true)
+	defer SetStatsEnabled(prev)
+
+	// Find a grisu-uncertified value (~0.5% of the corpus) and convert it
+	// through AppendShortest: one miss, one exact conversion, no
+	// double-counting from the public fallback re-entering shortestValue.
+	floats, _ := benchCorpus()
+	var hard float64
+	for _, f := range floats {
+		ResetStats()
+		AppendShortest(nil, f)
+		if s := Snapshot(); s.GrisuMisses == 1 {
+			hard = f
+			break
+		}
+	}
+	if hard == 0 {
+		t.Skip("no uncertified value in the bench corpus prefix")
+	}
+	ResetStats()
+	AppendShortest(nil, hard)
+	d := Snapshot()
+	if d.GrisuMisses != 1 || d.ExactFree != 1 || d.GrisuHits != 0 {
+		t.Fatalf("fallback for %x counted %+v, want 1 miss + 1 exact", hard, d)
+	}
+}
+
+// BenchmarkAppendShortestStatsEnabled quantifies the telemetry tax:
+// compare with BenchmarkAppendShortest to see the cost of one atomic
+// increment per conversion when collection is on (it is off by
+// default, where the hook is only a branch on an atomic bool).
+func BenchmarkAppendShortestStatsEnabled(b *testing.B) {
+	floats, _ := benchCorpus()
+	prev := SetStatsEnabled(true)
+	defer SetStatsEnabled(prev)
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendShortest(buf[:0], floats[i%len(floats)])
+	}
+}
