@@ -165,6 +165,16 @@ type chunkOut struct {
 // flight, so memory stays bounded regardless of input length and chunk
 // buffers are recycled.  It returns the byte count written to w and the
 // first error (a write error, or ctx.Err() on cancellation).
+//
+// Writer-side cancel contract: chunks reach w strictly in input order,
+// so whatever WriteAll has written when it returns — on success,
+// cancellation, or a write error — is a prefix of the full sequential
+// output, ending on a chunk boundary; w never sees reordered,
+// interleaved, or partial-chunk bytes.  On cancellation every worker
+// goroutine exits before WriteAll returns (nothing keeps converting
+// into a dead stream), which is what lets a network front end abort a
+// response mid-stream and trust both the bytes already sent and its
+// goroutine budget.  The byte count returned is exactly what reached w.
 func (p *Pool) WriteAll(ctx context.Context, values []float64, w io.Writer) (int64, error) {
 	n := len(values)
 	if n == 0 {

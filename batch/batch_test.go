@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"floatprint"
 	"floatprint/internal/schryer"
@@ -203,6 +204,76 @@ func TestWriteAllCancel(t *testing.T) {
 	var sink bytes.Buffer
 	if _, err := New(Config{Shards: 4}).WriteAll(ctx, schryer.CorpusN(50000), &sink); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-canceled WriteAll: err = %v", err)
+	}
+}
+
+// cancelAfterWriter cancels its context once n writes have landed,
+// then keeps accepting: the mid-stream cancellation a network peer
+// disconnect produces, with the sink still healthy.
+type cancelAfterWriter struct {
+	bytes.Buffer
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterWriter) Write(p []byte) (int, error) {
+	if c.n--; c.n == 0 {
+		c.cancel()
+	}
+	return c.Buffer.Write(p)
+}
+
+// TestWriteAllCancelMidStreamPrefix pins the writer-side cancel
+// contract: whatever a canceled WriteAll wrote is byte-identical to a
+// prefix of the sequential per-value output, the returned count equals
+// the bytes that reached the writer, and no worker goroutines outlive
+// the call.
+func TestWriteAllCancelMidStreamPrefix(t *testing.T) {
+	values := testCorpus(120000)
+	want, _ := referenceConcat(values)
+
+	baseline := runtime.NumGoroutine()
+	for _, shards := range []int{1, 2, runtime.NumCPU()} {
+		for _, after := range []int{1, 3, 7} {
+			ctx, cancel := context.WithCancel(context.Background())
+			sink := &cancelAfterWriter{n: after, cancel: cancel}
+			p := New(Config{Shards: shards, ChunkSize: 512})
+			n, err := p.WriteAll(ctx, values, sink)
+			cancel()
+
+			got := sink.Bytes()
+			if n != int64(len(got)) {
+				t.Fatalf("shards=%d after=%d: returned %d bytes, writer saw %d", shards, after, n, len(got))
+			}
+			if !bytes.HasPrefix(want, got) {
+				t.Fatalf("shards=%d after=%d: canceled output is not a prefix of sequential output", shards, after)
+			}
+			// The cancel lands mid-stream (120000 values / 512 per chunk
+			// leaves plenty unwritten), so WriteAll must report it.
+			if len(got) == len(want) {
+				t.Fatalf("shards=%d after=%d: whole stream written despite cancel", shards, after)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("shards=%d after=%d: err = %v, want context.Canceled", shards, after, err)
+			}
+		}
+	}
+
+	// Leak check: every worker and closer goroutine spawned by the
+	// canceled calls must be gone (sync.Pool buffers may linger; live
+	// goroutines may not).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // flush any goroutines parked in finalizer states
+		if g := runtime.NumGoroutine(); g <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after canceled WriteAll: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

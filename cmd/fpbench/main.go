@@ -10,6 +10,8 @@
 //	fpbench -batch       batch-engine corpus throughput, 1 shard vs NumCPU
 //	fpbench -all         everything
 //	fpbench -n 50000     corpus size (default: the paper's full 250,680)
+//	fpbench -json out    also write results as a BENCH_*.json artifact
+//	                     ("-" for stdout), comparable with fpbenchjson
 //
 // Results print with the paper's reference numbers alongside for direct
 // comparison; see EXPERIMENTS.md for a recorded run.
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,22 +40,27 @@ func main() {
 	batchF := flag.Bool("batch", false, "batch-engine corpus throughput (1 shard vs NumCPU)")
 	all := flag.Bool("all", false, "run every experiment")
 	n := flag.Int("n", schryer.CorpusSize, "corpus size (max 250680)")
+	jsonOut := flag.String("json", "", "write results as a BENCH JSON artifact to this path (\"-\" for stdout)")
 	flag.Parse()
 
 	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel && !*batchF {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var art *harness.Artifact
+	if *jsonOut != "" {
+		art = &harness.Artifact{}
+	}
 	corpus := schryer.CorpusN(*n)
 	fmt.Printf("Schryer-style corpus: %d positive normalized doubles\n\n", len(corpus))
 
 	if *all || *table == 2 {
-		if err := runTable2(corpus); err != nil {
+		if err := runTable2(corpus, art); err != nil {
 			fatal(err)
 		}
 	}
 	if *all || *table == 3 {
-		if err := runTable3(corpus); err != nil {
+		if err := runTable3(corpus, art); err != nil {
 			fatal(err)
 		}
 	}
@@ -65,24 +73,85 @@ func main() {
 		runAblation(corpus)
 	}
 	if *all || *successors {
-		if err := runSuccessors(corpus); err != nil {
+		if err := runSuccessors(corpus, art); err != nil {
 			fatal(err)
 		}
 	}
 	if *all || *parallel {
-		runParallel(corpus)
+		runParallel(corpus, art)
 	}
 	if *all || *batchF {
-		if err := runBatch(corpus); err != nil {
+		if err := runBatch(corpus, art); err != nil {
+			fatal(err)
+		}
+	}
+	if art != nil {
+		if err := writeArtifact(art, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}
 }
 
+// writeArtifact emits the collected experiment timings in the shared
+// internal/harness bench-JSON schema, so a run of fpbench can feed the
+// same regression gate as `go test -bench` output converted with
+// fpbenchjson.
+func writeArtifact(art *harness.Artifact, path string) error {
+	if path == "-" {
+		return art.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := art.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// record folds one experiment timing into the artifact as per-value
+// ns/op (nil-safe: recording is off unless -json was given).
+func record(art *harness.Artifact, name string, nsPerOp float64, metrics map[string][]float64) {
+	if art == nil {
+		return
+	}
+	art.Append("fpbench/"+name, []float64{nsPerOp}, metrics)
+}
+
+// nsPerValue converts an elapsed whole-corpus time to per-value ns/op.
+func nsPerValue(elapsed time.Duration, values int) float64 {
+	if values == 0 {
+		return 0
+	}
+	return elapsed.Seconds() * 1e9 / float64(values)
+}
+
+// slug turns a human experiment label into a benchmark-name segment:
+// non-alphanumeric runs collapse to single underscores.
+func slug(s string) string {
+	var sb strings.Builder
+	pend := false
+	for _, r := range s {
+		alnum := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+		if !alnum {
+			pend = sb.Len() > 0
+			continue
+		}
+		if pend {
+			sb.WriteByte('_')
+			pend = false
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
 // runBatch reports batch-engine throughput over the corpus for one
 // shard and NumCPU shards, then verifies the acceptance invariant that
 // the packed output is byte-identical to per-value AppendShortest.
-func runBatch(corpus []float64) error {
+func runBatch(corpus []float64, art *harness.Artifact) error {
 	shardCounts := []int{1}
 	if cpus := runtime.NumCPU(); cpus > 1 {
 		shardCounts = append(shardCounts, cpus)
@@ -93,6 +162,10 @@ func runBatch(corpus []float64) error {
 		return err
 	}
 	fmt.Print(harness.RenderBatch(rows, len(corpus)))
+	for _, r := range rows {
+		record(art, fmt.Sprintf("Batch/shards=%d", r.Shards), nsPerValue(r.Elapsed, len(corpus)),
+			map[string][]float64{"values/s": {r.ValuesPerSec}, "MB/s": {r.MBPerSec}})
+	}
 	if err := harness.VerifyBatch(corpus, shardCounts); err != nil {
 		return err
 	}
@@ -107,7 +180,7 @@ func runBatch(corpus []float64) error {
 // throughput should track core count nearly linearly up to GOMAXPROCS and
 // then flatten; a sub-linear curve indicates contention (the regime the
 // old global power-table mutex serialized outright).
-func runParallel(corpus []float64) {
+func runParallel(corpus []float64, art *harness.Artifact) {
 	procs := runtime.GOMAXPROCS(0)
 	fmt.Println("== Concurrent conversion scaling (AppendShortest, reused buffers) ==")
 	fmt.Printf("GOMAXPROCS=%d; per-row: goroutines, aggregate conversions/s, speedup vs 1\n", procs)
@@ -118,6 +191,8 @@ func runParallel(corpus []float64) {
 			base = rate
 		}
 		fmt.Printf("  g=%-3d  %12.0f conv/s   %5.2fx\n", g, rate, rate/base)
+		record(art, fmt.Sprintf("Parallel/g=%d", g), 1e9/rate,
+			map[string][]float64{"conv/s": {rate}})
 	}
 	fmt.Println()
 }
@@ -140,7 +215,7 @@ func parallelRate(corpus []float64, g int) float64 {
 	return float64(g*perG) / time.Since(start).Seconds()
 }
 
-func runSuccessors(corpus []float64) error {
+func runSuccessors(corpus []float64, art *harness.Artifact) error {
 	fmt.Println("== Follow-on work: three generations of shortest printing ==")
 	fmt.Println("(Burger-Dybvig 1996 exact; Grisu3 2010 certified + fallback; Ryu 2018)")
 	rows, err := harness.RunSuccessors(corpus)
@@ -148,11 +223,15 @@ func runSuccessors(corpus []float64) error {
 		return err
 	}
 	fmt.Print(harness.RenderSuccessors(rows, len(corpus)))
+	for _, r := range rows {
+		record(art, "Successors/"+slug(r.Name), nsPerValue(r.Elapsed, len(corpus)),
+			map[string][]float64{"relative": {r.Relative}})
+	}
 	fmt.Println()
 	return nil
 }
 
-func runTable2(corpus []float64) error {
+func runTable2(corpus []float64, art *harness.Artifact) error {
 	fmt.Println("== Table 2: scaling algorithm relative CPU time ==")
 	fmt.Println("(paper, DEC AXP 8420: iterative 145.2x, float-log 1.2x, estimate 1.0x)")
 	rows, err := harness.RunTable2(corpus)
@@ -160,17 +239,26 @@ func runTable2(corpus []float64) error {
 		return err
 	}
 	fmt.Print(harness.RenderTable2(rows))
+	for _, r := range rows {
+		record(art, "Table2/"+slug(r.Name), nsPerValue(r.Elapsed, len(corpus)),
+			map[string][]float64{"relative": {r.Relative}, "scale-ops": {r.MeanScaleOps}})
+	}
 	fmt.Println()
 	return nil
 }
 
-func runTable3(corpus []float64) error {
+func runTable3(corpus []float64, art *harness.Artifact) error {
 	fmt.Println("== Table 3: free vs fixed vs printf ==")
 	res, err := harness.RunTable3(corpus)
 	if err != nil {
 		return err
 	}
 	fmt.Print(harness.RenderTable3(res))
+	record(art, "Table3/free", nsPerValue(res.Free, res.Corpus),
+		map[string][]float64{"mean-digits": {res.MeanDigits}})
+	record(art, "Table3/fixed17", nsPerValue(res.Fixed17, res.Corpus), nil)
+	record(art, "Table3/printf17", nsPerValue(res.Printf, res.Corpus),
+		map[string][]float64{"incorrect": {float64(res.Incorrect)}})
 	fmt.Println()
 	return nil
 }

@@ -11,34 +11,18 @@
 // in both is more than -max-regress percent slower in head; medians
 // over repeated -count runs make the gate robust to a single noisy
 // pass.
+//
+// The schema and comparison logic live in internal/harness, shared with
+// `fpbench -json`, so the gate consumes artifacts from either tool.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"regexp"
-	"sort"
-	"strconv"
-	"strings"
+
+	"floatprint/internal/harness"
 )
-
-// Benchmark is one benchmark's aggregated runs.
-type Benchmark struct {
-	Name          string               `json:"name"` // GOMAXPROCS suffix stripped
-	Runs          int                  `json:"runs"`
-	NsPerOp       []float64            `json:"ns_per_op"`
-	MedianNsPerOp float64              `json:"median_ns_per_op"`
-	Metrics       map[string][]float64 `json:"metrics,omitempty"` // B/op, allocs/op, custom units
-}
-
-// Artifact is the JSON file layout (BENCH_*.json).
-type Artifact struct {
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	base := flag.String("base", "", "baseline BENCH JSON (enables compare mode)")
@@ -50,7 +34,7 @@ func main() {
 		if *base == "" || *head == "" {
 			fatal(fmt.Errorf("compare mode needs both -base and -head"))
 		}
-		regressions, report, err := compareFiles(*base, *head, *maxRegress)
+		regressions, report, err := harness.CompareArtifactFiles(*base, *head, *maxRegress)
 		if err != nil {
 			fatal(err)
 		}
@@ -61,156 +45,13 @@ func main() {
 		return
 	}
 
-	art, err := Parse(os.Stdin)
+	art, err := harness.ParseBenchOutput(os.Stdin)
 	if err != nil {
 		fatal(err)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(art); err != nil {
+	if err := art.WriteJSON(os.Stdout); err != nil {
 		fatal(err)
 	}
-}
-
-// procSuffix matches the trailing -N GOMAXPROCS tag on benchmark names.
-var procSuffix = regexp.MustCompile(`-\d+$`)
-
-// Parse reads `go test -bench` output and aggregates per-benchmark
-// runs.  Lines that are not benchmark results (headers, PASS, ok) are
-// ignored, so raw `go test` output pipes straight in.
-func Parse(r io.Reader) (*Artifact, error) {
-	byName := map[string]*Benchmark{}
-	var order []string
-
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		if _, err := strconv.Atoi(fields[1]); err != nil {
-			continue // not an iteration count: some other Benchmark-prefixed text
-		}
-		name := procSuffix.ReplaceAllString(fields[0], "")
-		b := byName[name]
-		if b == nil {
-			b = &Benchmark{Name: name, Metrics: map[string][]float64{}}
-			byName[name] = b
-			order = append(order, name)
-		}
-		b.Runs++
-		// The rest of the line is value/unit pairs: `123 ns/op 0 allocs/op ...`.
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
-			}
-			if unit := fields[i+1]; unit == "ns/op" {
-				b.NsPerOp = append(b.NsPerOp, v)
-			} else {
-				b.Metrics[unit] = append(b.Metrics[unit], v)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-
-	art := &Artifact{}
-	for _, name := range order {
-		b := byName[name]
-		b.MedianNsPerOp = median(b.NsPerOp)
-		if len(b.Metrics) == 0 {
-			b.Metrics = nil
-		}
-		art.Benchmarks = append(art.Benchmarks, *b)
-	}
-	if len(art.Benchmarks) == 0 {
-		return nil, fmt.Errorf("no benchmark lines found in input")
-	}
-	return art, nil
-}
-
-func median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
-}
-
-// Compare matches benchmarks by name and reports every pair whose head
-// median ns/op exceeds the base median by more than maxRegress percent.
-// Benchmarks present on only one side are listed but never fail the
-// gate (new benchmarks have no baseline; removed ones have no head).
-func Compare(base, head *Artifact, maxRegress float64) (regressions int, report string) {
-	baseBy := map[string]Benchmark{}
-	for _, b := range base.Benchmarks {
-		baseBy[b.Name] = b
-	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-52s %14s %14s %9s\n", "benchmark", "base ns/op", "head ns/op", "delta")
-	for _, h := range head.Benchmarks {
-		b, ok := baseBy[h.Name]
-		if !ok {
-			fmt.Fprintf(&sb, "%-52s %14s %14.1f %9s\n", h.Name, "(new)", h.MedianNsPerOp, "")
-			continue
-		}
-		delete(baseBy, h.Name)
-		if b.MedianNsPerOp == 0 {
-			continue
-		}
-		deltaPct := 100 * (h.MedianNsPerOp - b.MedianNsPerOp) / b.MedianNsPerOp
-		mark := ""
-		if deltaPct > maxRegress {
-			regressions++
-			mark = "  REGRESSION"
-		}
-		fmt.Fprintf(&sb, "%-52s %14.1f %14.1f %+8.1f%%%s\n",
-			h.Name, b.MedianNsPerOp, h.MedianNsPerOp, deltaPct, mark)
-	}
-	for _, b := range base.Benchmarks {
-		if _, still := baseBy[b.Name]; still {
-			fmt.Fprintf(&sb, "%-52s %14.1f %14s %9s\n", b.Name, b.MedianNsPerOp, "(removed)", "")
-		}
-	}
-	if regressions > 0 {
-		fmt.Fprintf(&sb, "FAIL: %d benchmark(s) regressed more than %.0f%%\n", regressions, maxRegress)
-	} else {
-		fmt.Fprintf(&sb, "ok: no benchmark regressed more than %.0f%%\n", maxRegress)
-	}
-	return regressions, sb.String()
-}
-
-func compareFiles(basePath, headPath string, maxRegress float64) (int, string, error) {
-	base, err := loadArtifact(basePath)
-	if err != nil {
-		return 0, "", err
-	}
-	head, err := loadArtifact(headPath)
-	if err != nil {
-		return 0, "", err
-	}
-	regressions, report := Compare(base, head, maxRegress)
-	return regressions, report, nil
-}
-
-func loadArtifact(path string) (*Artifact, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var art Artifact
-	if err := json.Unmarshal(data, &art); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &art, nil
 }
 
 func fatal(err error) {

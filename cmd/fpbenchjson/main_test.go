@@ -1,95 +1,43 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"floatprint/internal/harness"
 )
 
-const sampleBench = `goos: linux
-goarch: amd64
-pkg: floatprint
-cpu: Some CPU
-BenchmarkShortest-8             13817valuesXX
-BenchmarkShortest-8      5000000               100.0 ns/op            24 B/op          1 allocs/op
-BenchmarkShortest-8      5000000               120.0 ns/op            24 B/op          1 allocs/op
-BenchmarkShortest-8      5000000               110.0 ns/op            24 B/op          1 allocs/op
-BenchmarkAppendShortestCertified-8      20000000                41.5 ns/op             0 B/op          0 allocs/op
-BenchmarkBatchConvert/shards=1-8             100          11000000 ns/op        47.67 MB/s       6471672 values/s
-BenchmarkBatchConvert/shards=1-8             100          12000000 ns/op        45.00 MB/s       6000000 values/s
-PASS
-ok      floatprint      12.345s
-`
+// The parsing and comparison logic is tested in internal/harness; this
+// exercises the file-level plumbing the CLI's compare mode rides on.
+func TestCompareArtifactFilesThroughDisk(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ns float64) string {
+		var a harness.Artifact
+		a.Append("BenchmarkShortest", []float64{ns}, nil)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := a.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		return f.Name()
+	}
+	base := write("base.json", 100)
+	head := write("head.json", 150)
 
-func TestParse(t *testing.T) {
-	art, err := Parse(strings.NewReader(sampleBench))
+	regressions, report, err := harness.CompareArtifactFiles(base, head, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(art.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(art.Benchmarks))
+	if regressions != 1 || !strings.Contains(report, "REGRESSION") {
+		t.Fatalf("regressions = %d, report:\n%s", regressions, report)
 	}
-	b := art.Benchmarks[0]
-	if b.Name != "BenchmarkShortest" || b.Runs != 3 {
-		t.Fatalf("first = %s runs=%d, want BenchmarkShortest runs=3", b.Name, b.Runs)
-	}
-	if b.MedianNsPerOp != 110.0 {
-		t.Fatalf("median = %v, want 110", b.MedianNsPerOp)
-	}
-	if got := b.Metrics["B/op"]; len(got) != 3 || got[0] != 24 {
-		t.Fatalf("B/op metric = %v", got)
-	}
-	sub := art.Benchmarks[2]
-	if sub.Name != "BenchmarkBatchConvert/shards=1" {
-		t.Fatalf("sub-benchmark name = %q", sub.Name)
-	}
-	if sub.MedianNsPerOp != 11500000 {
-		t.Fatalf("sub median = %v, want 11.5e6", sub.MedianNsPerOp)
-	}
-	if got := sub.Metrics["values/s"]; len(got) != 2 {
-		t.Fatalf("values/s metric = %v", got)
-	}
-}
 
-func TestParseRejectsEmpty(t *testing.T) {
-	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
-		t.Fatal("empty input parsed without error")
-	}
-}
-
-func art(nameNs ...any) *Artifact {
-	a := &Artifact{}
-	for i := 0; i+1 < len(nameNs); i += 2 {
-		a.Benchmarks = append(a.Benchmarks, Benchmark{
-			Name:          nameNs[i].(string),
-			Runs:          1,
-			MedianNsPerOp: nameNs[i+1].(float64),
-		})
-	}
-	return a
-}
-
-func TestCompareWithinThreshold(t *testing.T) {
-	base := art("A", 100.0, "B", 200.0, "Gone", 5.0)
-	head := art("A", 108.0, "B", 150.0, "New", 7.0)
-	regressions, report := Compare(base, head, 10)
-	if regressions != 0 {
-		t.Fatalf("regressions = %d, want 0\n%s", regressions, report)
-	}
-	for _, want := range []string{"(new)", "(removed)", "ok: no benchmark regressed"} {
-		if !strings.Contains(report, want) {
-			t.Errorf("report missing %q:\n%s", want, report)
-		}
-	}
-}
-
-func TestCompareFlagsRegression(t *testing.T) {
-	base := art("A", 100.0, "B", 200.0)
-	head := art("A", 111.0, "B", 200.0)
-	regressions, report := Compare(base, head, 10)
-	if regressions != 1 {
-		t.Fatalf("regressions = %d, want 1\n%s", regressions, report)
-	}
-	if !strings.Contains(report, "REGRESSION") || !strings.Contains(report, "FAIL: 1 benchmark") {
-		t.Errorf("report:\n%s", report)
+	if _, _, err := harness.CompareArtifactFiles(base, filepath.Join(dir, "missing.json"), 10); err == nil {
+		t.Fatal("missing head artifact compared without error")
 	}
 }

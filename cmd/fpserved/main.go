@@ -1,0 +1,91 @@
+// Command fpserved runs the floatprint conversion service: shortest
+// and fixed-format conversion of single values, streaming batch
+// conversion over the sharded pool, and Prometheus metrics, with
+// explicit load-shedding at a configurable in-flight cap.
+//
+//	fpserved -addr :8080 -inflight 64
+//
+//	curl 'localhost:8080/v1/shortest?v=1e23'
+//	curl 'localhost:8080/v1/fixed?v=3.14159&n=3'
+//	seq 1 10000 | awk '{print $1 * 0.1}' | curl -s --data-binary @- localhost:8080/v1/batch
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener closes, and
+// in-flight requests (streaming batches included) drain for up to
+// -drain before the process exits — 0 on a clean drain, 1 if the
+// deadline passed with work still running.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"floatprint"
+	"floatprint/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for a random port)")
+	inflight := flag.Int("inflight", 64, "max concurrent conversion requests before shedding 429s")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	maxBatch := flag.Int64("max-batch-bytes", 1<<30, "request-body cap for /v1/batch")
+	shards := flag.Int("shards", 0, "batch pool shards (0 = GOMAXPROCS)")
+	chunk := flag.Int("chunk", 0, "batch pool chunk size in values (0 = 4096)")
+	statsOn := flag.Bool("stats", true, "collect conversion-path telemetry for /metrics")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "fpserved: ", log.LstdFlags)
+	floatprint.SetStatsEnabled(*statsOn)
+
+	srv := serve.New(serve.Config{
+		Addr:           *addr,
+		InFlight:       *inflight,
+		RequestTimeout: *timeout,
+		RetryAfter:     *retryAfter,
+		MaxBatchBytes:  *maxBatch,
+		BatchShards:    *shards,
+		BatchChunk:     *chunk,
+		Logger:         logger,
+	})
+	if err := srv.Listen(); err != nil {
+		logger.Fatal(err)
+	}
+	// The listen line goes to stdout in a fixed shape: scripts booting
+	// fpserved on a random port (CI's e2e job) parse it for the address.
+	fmt.Printf("fpserved listening on %s\n", srv.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			logger.Fatal(err)
+		}
+		return
+	case sig := <-sigCh:
+		logger.Printf("received %s, draining in-flight requests (deadline %s)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain deadline exceeded: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil {
+		logger.Fatal(err)
+	}
+	logger.Print("drained cleanly")
+}

@@ -1,0 +1,201 @@
+// Benchmark-JSON schema and comparison: the single source of truth for
+// the BENCH_*.json artifacts behind the CI bench gate.  Two CLIs speak
+// it — cmd/fpbenchjson converts `go test -bench` output and compares
+// artifacts, and cmd/fpbench -json emits its experiment tables in the
+// same shape — so a regression gate can consume either without caring
+// which produced the file.
+
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's aggregated runs.
+type Benchmark struct {
+	Name          string               `json:"name"` // GOMAXPROCS suffix stripped
+	Runs          int                  `json:"runs"`
+	NsPerOp       []float64            `json:"ns_per_op"`
+	MedianNsPerOp float64              `json:"median_ns_per_op"`
+	Metrics       map[string][]float64 `json:"metrics,omitempty"` // B/op, allocs/op, custom units
+}
+
+// Artifact is the JSON file layout (BENCH_*.json).
+type Artifact struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Append adds one aggregated entry built from raw per-run ns/op
+// samples, computing the median — how fpbench folds its experiment
+// timings into the shared schema.
+func (a *Artifact) Append(name string, nsPerOp []float64, metrics map[string][]float64) {
+	if len(metrics) == 0 {
+		metrics = nil
+	}
+	a.Benchmarks = append(a.Benchmarks, Benchmark{
+		Name:          name,
+		Runs:          len(nsPerOp),
+		NsPerOp:       nsPerOp,
+		MedianNsPerOp: median(nsPerOp),
+		Metrics:       metrics,
+	})
+}
+
+// WriteJSON writes the artifact as indented JSON.
+func (a *Artifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// procSuffix matches the trailing -N GOMAXPROCS tag on benchmark names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseBenchOutput reads `go test -bench` output and aggregates
+// per-benchmark runs.  Lines that are not benchmark results (headers,
+// PASS, ok) are ignored, so raw `go test` output pipes straight in.
+func ParseBenchOutput(r io.Reader) (*Artifact, error) {
+	byName := map[string]*Benchmark{}
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: some other Benchmark-prefixed text
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name, Metrics: map[string][]float64{}}
+			byName[name] = b
+			order = append(order, name)
+		}
+		b.Runs++
+		// The rest of the line is value/unit pairs: `123 ns/op 0 allocs/op ...`.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			if unit := fields[i+1]; unit == "ns/op" {
+				b.NsPerOp = append(b.NsPerOp, v)
+			} else {
+				b.Metrics[unit] = append(b.Metrics[unit], v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	art := &Artifact{}
+	for _, name := range order {
+		b := byName[name]
+		b.MedianNsPerOp = median(b.NsPerOp)
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		art.Benchmarks = append(art.Benchmarks, *b)
+	}
+	if len(art.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return art, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// CompareArtifacts matches benchmarks by name and reports every pair
+// whose head median ns/op exceeds the base median by more than
+// maxRegress percent.  Benchmarks present on only one side are listed
+// but never fail the gate (new benchmarks have no baseline; removed
+// ones have no head).
+func CompareArtifacts(base, head *Artifact, maxRegress float64) (regressions int, report string) {
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-52s %14s %14s %9s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, h := range head.Benchmarks {
+		b, ok := baseBy[h.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-52s %14s %14.1f %9s\n", h.Name, "(new)", h.MedianNsPerOp, "")
+			continue
+		}
+		delete(baseBy, h.Name)
+		if b.MedianNsPerOp == 0 {
+			continue
+		}
+		deltaPct := 100 * (h.MedianNsPerOp - b.MedianNsPerOp) / b.MedianNsPerOp
+		mark := ""
+		if deltaPct > maxRegress {
+			regressions++
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(&sb, "%-52s %14.1f %14.1f %+8.1f%%%s\n",
+			h.Name, b.MedianNsPerOp, h.MedianNsPerOp, deltaPct, mark)
+	}
+	for _, b := range base.Benchmarks {
+		if _, still := baseBy[b.Name]; still {
+			fmt.Fprintf(&sb, "%-52s %14.1f %14s %9s\n", b.Name, b.MedianNsPerOp, "(removed)", "")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(&sb, "FAIL: %d benchmark(s) regressed more than %.0f%%\n", regressions, maxRegress)
+	} else {
+		fmt.Fprintf(&sb, "ok: no benchmark regressed more than %.0f%%\n", maxRegress)
+	}
+	return regressions, sb.String()
+}
+
+// LoadArtifact reads a BENCH_*.json file.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &art, nil
+}
+
+// CompareArtifactFiles loads two artifacts and compares them.
+func CompareArtifactFiles(basePath, headPath string, maxRegress float64) (int, string, error) {
+	base, err := LoadArtifact(basePath)
+	if err != nil {
+		return 0, "", err
+	}
+	head, err := LoadArtifact(headPath)
+	if err != nil {
+		return 0, "", err
+	}
+	regressions, report := CompareArtifacts(base, head, maxRegress)
+	return regressions, report, nil
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: floatprint
+cpu: Some CPU
+BenchmarkShortest-8             13817valuesXX
+BenchmarkShortest-8      5000000               100.0 ns/op            24 B/op          1 allocs/op
+BenchmarkShortest-8      5000000               120.0 ns/op            24 B/op          1 allocs/op
+BenchmarkShortest-8      5000000               110.0 ns/op            24 B/op          1 allocs/op
+BenchmarkAppendShortestCertified-8      20000000                41.5 ns/op             0 B/op          0 allocs/op
+BenchmarkBatchConvert/shards=1-8             100          11000000 ns/op        47.67 MB/s       6471672 values/s
+BenchmarkBatchConvert/shards=1-8             100          12000000 ns/op        45.00 MB/s       6000000 values/s
+PASS
+ok      floatprint      12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	art, err := ParseBenchOutput(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(art.Benchmarks))
+	}
+	b := art.Benchmarks[0]
+	if b.Name != "BenchmarkShortest" || b.Runs != 3 {
+		t.Fatalf("first = %s runs=%d, want BenchmarkShortest runs=3", b.Name, b.Runs)
+	}
+	if b.MedianNsPerOp != 110.0 {
+		t.Fatalf("median = %v, want 110", b.MedianNsPerOp)
+	}
+	if got := b.Metrics["B/op"]; len(got) != 3 || got[0] != 24 {
+		t.Fatalf("B/op metric = %v", got)
+	}
+	sub := art.Benchmarks[2]
+	if sub.Name != "BenchmarkBatchConvert/shards=1" {
+		t.Fatalf("sub-benchmark name = %q", sub.Name)
+	}
+	if sub.MedianNsPerOp != 11500000 {
+		t.Fatalf("sub median = %v, want 11.5e6", sub.MedianNsPerOp)
+	}
+	if got := sub.Metrics["values/s"]; len(got) != 2 {
+		t.Fatalf("values/s metric = %v", got)
+	}
+}
+
+func TestParseBenchOutputRejectsEmpty(t *testing.T) {
+	if _, err := ParseBenchOutput(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("empty input parsed without error")
+	}
+}
+
+func TestAppendAndWriteJSONRoundTrip(t *testing.T) {
+	var art Artifact
+	art.Append("fpbench/Batch/shards=4", []float64{120, 100, 110},
+		map[string][]float64{"values/s": {9e6, 1.1e7, 1e7}})
+	art.Append("fpbench/Table3/free", []float64{250}, nil)
+
+	if got := art.Benchmarks[0]; got.Runs != 3 || got.MedianNsPerOp != 110 {
+		t.Fatalf("appended entry = %+v, want runs=3 median=110", got)
+	}
+	if got := art.Benchmarks[1]; got.Metrics != nil {
+		t.Fatalf("empty metrics should marshal away, got %v", got.Metrics)
+	}
+
+	var buf bytes.Buffer
+	if err := art.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("written JSON does not parse back: %v", err)
+	}
+	if len(back.Benchmarks) != 2 || back.Benchmarks[0].MedianNsPerOp != 110 {
+		t.Fatalf("round-trip = %+v", back.Benchmarks)
+	}
+	// Appended artifacts must be comparable against parsed ones — it is
+	// the whole point of the shared schema.
+	if regress, _ := CompareArtifacts(&art, &back, 10); regress != 0 {
+		t.Fatalf("identical artifacts compare with %d regressions", regress)
+	}
+}
+
+func art(nameNs ...any) *Artifact {
+	a := &Artifact{}
+	for i := 0; i+1 < len(nameNs); i += 2 {
+		a.Benchmarks = append(a.Benchmarks, Benchmark{
+			Name:          nameNs[i].(string),
+			Runs:          1,
+			MedianNsPerOp: nameNs[i+1].(float64),
+		})
+	}
+	return a
+}
+
+func TestCompareArtifactsWithinThreshold(t *testing.T) {
+	base := art("A", 100.0, "B", 200.0, "Gone", 5.0)
+	head := art("A", 108.0, "B", 150.0, "New", 7.0)
+	regressions, report := CompareArtifacts(base, head, 10)
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", regressions, report)
+	}
+	for _, want := range []string{"(new)", "(removed)", "ok: no benchmark regressed"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareArtifactsFlagsRegression(t *testing.T) {
+	base := art("A", 100.0, "B", 200.0)
+	head := art("A", 111.0, "B", 200.0)
+	regressions, report := CompareArtifacts(base, head, 10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, report)
+	}
+	if !strings.Contains(report, "REGRESSION") || !strings.Contains(report, "FAIL: 1 benchmark") {
+		t.Errorf("report:\n%s", report)
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Raw is a cache-line-padded atomic counter without the Enable gate.
+// The gated Counter exists so the conversion hot path costs nothing
+// when nobody is looking; the serving layer is the opposite regime —
+// its request accounting must always be live, because a /metrics
+// scrape that reads zeros during an incident is worse than no metrics
+// at all.  Same padding discipline as Counter: adjacent counters in a
+// declaration block never false-share.
+type Raw struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Inc adds one.
+func (c *Raw) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Raw) Add(n uint64) { c.n.Add(n) }
+
+// Load returns the current count.
+func (c *Raw) Load() uint64 { return c.n.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram with atomic
+// counters, shaped for Prometheus exposition: Observe records a value,
+// WritePrometheus emits the classic `_bucket`/`_sum`/`_count` triplet.
+// Buckets are upper bounds in ascending order; values above the last
+// bound land only in the implicit +Inf bucket.  The zero Histogram is
+// unusable — construct with NewHistogram.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, plus +Inf at the end
+	sum    atomic.Uint64   // math.Float64bits-encoded running sum, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records v into the first bucket whose bound is >= v.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// WritePrometheus emits the histogram under the given metric name in
+// Prometheus text exposition format.
+func (h *Histogram) WritePrometheus(w io.Writer, name, help string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+		name, cum, name, math.Float64frombits(h.sum.Load()), name, cum)
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus clients
+// conventionally do: shortest decimal that round-trips.
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// WriteCounter emits one counter metric in Prometheus text exposition
+// format, shared by the library exposition (floatprint.Stats) and the
+// serving layer so both tell one consistent story on a scrape.
+func WriteCounter(w io.Writer, name, help string, v uint64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	return err
+}
+
+// WriteGauge emits one gauge metric in Prometheus text exposition
+// format.
+func WriteGauge(w io.Writer, name, help string, v int64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	return err
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRawIgnoresGate(t *testing.T) {
+	prev := Enable(false)
+	defer Enable(prev)
+
+	var c Raw
+	c.Inc()
+	c.Add(9)
+	if got := c.Load(); got != 10 {
+		t.Fatalf("Raw counter = %d with gate off, want 10", got)
+	}
+}
+
+func TestRawConcurrent(t *testing.T) {
+	var c Raw
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*each {
+		t.Fatalf("Raw = %d, want %d", got, workers*each)
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	var sb strings.Builder
+	if err := h.WritePrometheus(&sb, "x_seconds", "help text"); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP x_seconds help text
+# TYPE x_seconds histogram
+x_seconds_bucket{le="0.001"} 1
+x_seconds_bucket{le="0.01"} 3
+x_seconds_bucket{le="0.1"} 4
+x_seconds_bucket{le="+Inf"} 5
+x_seconds_sum 5.0605
+x_seconds_count 5
+`
+	if sb.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1, 10)
+	const workers, each = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("Count = %d, want %d", got, workers*each)
+	}
+}
+
+func TestWriteCounterAndGauge(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCounter(&sb, "a_total", "a help", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGauge(&sb, "b", "b help", -3); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_total a help
+# TYPE a_total counter
+a_total 7
+# HELP b b help
+# TYPE b gauge
+b -3
+`
+	if sb.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}

@@ -1,0 +1,111 @@
+package floatprint
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// roundTripValues is the value set for the fixed-format round-trip
+// property: hand-picked boundary cases plus seeded random bit patterns,
+// with the negation of each.
+func roundTripValues(t *testing.T) []float64 {
+	t.Helper()
+	vals := []float64{
+		0,
+		0.1,
+		1.0 / 3.0,
+		math.Pi,
+		1e23,   // the classic shortest-vs-nearest pivot
+		5e-324, // smallest denormal: 751 significant decimal digits
+		math.SmallestNonzeroFloat64 * 9871,
+		math.MaxFloat64,
+		math.Nextafter(1, 2),    // 1 + 2^-52
+		2.2250738585072011e-308, // the strtod-loop value, just under the normal threshold
+		9007199254740993,        // 2^53 + 1: not representable, rounds
+		6.62607015e-34,
+	}
+	rng := rand.New(rand.NewSource(0x42d))
+	for i := 0; i < 12; i++ {
+		v := math.Float64frombits(rng.Uint64())
+		for math.IsNaN(v) || math.IsInf(v, 0) {
+			v = math.Float64frombits(rng.Uint64())
+		}
+		vals = append(vals, v)
+	}
+	neg := make([]float64, 0, 2*len(vals))
+	for _, v := range vals {
+		neg = append(neg, v, -v)
+	}
+	return neg
+}
+
+// TestParseRoundTripsFixedMarks is the property behind the '#'
+// convention: fixed-format output — insignificance marks included — must
+// parse back to the exact same float64 when the same Options (base and
+// assumed reader rounding) are used on both sides, for every base 2–36
+// and all four reader modes.  Parse reads '#' as zeros; the printer
+// guarantees the significant prefix already pins v down under the
+// declared reader, so the zero-filled tail cannot move the result.
+func TestParseRoundTripsFixedMarks(t *testing.T) {
+	values := roundTripValues(t)
+	modes := []ReaderRounding{ReaderNearestEven, ReaderUnknown, ReaderNearestAway, ReaderNearestTowardZero}
+
+	const n = 70 // enough positions that nearly every output carries '#' marks
+	total, marked := 0, 0
+	for base := 2; base <= 36; base++ {
+		for _, mode := range modes {
+			opts := &Options{Base: base, Reader: mode}
+			for _, v := range values {
+				s, err := FormatFixed(v, n, opts)
+				if err != nil {
+					t.Fatalf("FormatFixed(%g, %d, base=%d, %v): %v", v, n, base, mode, err)
+				}
+				total++
+				if strings.ContainsRune(s, '#') {
+					marked++
+				}
+				got, err := Parse(s, opts)
+				if err != nil {
+					t.Fatalf("Parse(%q, base=%d, %v): %v", s, base, mode, err)
+				}
+				if math.Float64bits(got) != math.Float64bits(v) {
+					t.Fatalf("base=%d %v: Parse(FormatFixed(%b)) = %b (%q)", base, mode, v, got, s)
+				}
+			}
+		}
+	}
+	// The property must actually be exercising marked output: with 70
+	// positions only the longest expansions (deep denormals in small
+	// bases) fill every digit.
+	if marked < total*4/5 {
+		t.Fatalf("only %d of %d outputs contained '#' marks; property under-exercised", marked, total)
+	}
+}
+
+// TestParseRoundTripsFixedNoMarks checks the same property with NoMarks
+// set: insignificant positions print as '0' instead of '#', and the
+// output still parses back bit-identically.
+func TestParseRoundTripsFixedNoMarks(t *testing.T) {
+	values := roundTripValues(t)
+	for _, base := range []int{2, 10, 16, 36} {
+		opts := &Options{Base: base, NoMarks: true}
+		for _, v := range values {
+			s, err := FormatFixed(v, 70, opts)
+			if err != nil {
+				t.Fatalf("FormatFixed(%g, base=%d): %v", v, base, err)
+			}
+			if strings.ContainsRune(s, '#') {
+				t.Fatalf("NoMarks output contains '#': %q", s)
+			}
+			got, err := Parse(s, opts)
+			if err != nil {
+				t.Fatalf("Parse(%q, base=%d): %v", s, base, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(v) {
+				t.Fatalf("base=%d: Parse(FormatFixed(%b)) = %b (%q)", base, v, got, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the fpserved conversion service: boot on a
+# random port, hit every endpoint, check the 10k-value batch stream
+# byte-for-byte against the fpprint reference, scrape /metrics, and
+# verify graceful shutdown drains and exits 0 within the drain deadline.
+#
+# Run from the repository root:  ./scripts/serve_e2e.sh
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_e2e: FAIL: $*" >&2; exit 1; }
+
+echo "== build =="
+go build -o "$workdir/fpserved" ./cmd/fpserved
+go build -o "$workdir/fpprint" ./cmd/fpprint
+
+echo "== boot on a random port =="
+"$workdir/fpserved" -addr 127.0.0.1:0 -drain 10s >"$workdir/serve.log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^fpserved listening on //p' "$workdir/serve.log" | head -n1)"
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { cat "$workdir/serve.log" >&2; fail "fpserved exited during startup"; }
+  sleep 0.1
+done
+[ -n "$addr" ] || fail "no listening line within 10s"
+base="http://$addr"
+echo "fpserved up at $base (pid $pid)"
+
+echo "== /healthz =="
+got="$(curl -fsS "$base/healthz")"
+[ "$got" = "ok" ] || fail "/healthz = $got, want ok"
+
+echo "== /v1/shortest =="
+got="$(curl -fsS "$base/v1/shortest?v=1e23")"
+[ "$got" = "1e23" ] || fail "/v1/shortest?v=1e23 = $got, want 1e23"
+got="$(curl -fsS "$base/v1/shortest?v=1e23&mode=unknown")"
+[ "$got" = "9.999999999999999e22" ] || fail "mode=unknown = $got"
+
+echo "== /v1/fixed =="
+got="$(curl -fsS "$base/v1/fixed?v=3.14159&n=3")"
+[ "$got" = "3.14" ] || fail "/v1/fixed?v=3.14159&n=3 = $got, want 3.14"
+
+echo "== /v1/batch: 10k values, byte-identical to the fpprint reference =="
+awk 'BEGIN { srand(7); for (i = 0; i < 10000; i++) printf "%.17g\n", (rand() - 0.5) * exp((rand() - 0.5) * 200) }' \
+  >"$workdir/input.txt"
+"$workdir/fpprint" <"$workdir/input.txt" >"$workdir/want.txt"
+curl -fsS -X POST --data-binary "@$workdir/input.txt" "$base/v1/batch" >"$workdir/got.txt"
+cmp "$workdir/want.txt" "$workdir/got.txt" || fail "batch output differs from per-value reference"
+[ "$(wc -l <"$workdir/got.txt")" -eq 10000 ] || fail "batch returned $(wc -l <"$workdir/got.txt") lines"
+
+echo "== /metrics =="
+curl -fsS "$base/metrics" >"$workdir/metrics.txt"
+batch_values="$(awk '$1 == "floatprint_batch_values_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$batch_values" ] || fail "floatprint_batch_values_total missing from /metrics"
+[ "$batch_values" -ge 10000 ] || fail "floatprint_batch_values_total = $batch_values, want >= 10000"
+requests="$(awk '$1 == "fpserved_requests_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$requests" ] || fail "fpserved_requests_total missing from /metrics"
+# Four conversion requests so far; /healthz and /metrics bypass the
+# instrumented chain and are deliberately not counted.
+[ "$requests" -eq 4 ] || fail "fpserved_requests_total = $requests, want 4"
+
+echo "== graceful shutdown =="
+kill -TERM "$pid"
+deadline=$((SECONDS + 15))
+while kill -0 "$pid" 2>/dev/null; do
+  [ "$SECONDS" -lt "$deadline" ] || fail "fpserved still running 15s after SIGTERM"
+  sleep 0.1
+done
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || { cat "$workdir/serve.log" >&2; fail "fpserved exited $rc, want 0"; }
+grep -q "drained cleanly" "$workdir/serve.log" || fail "missing 'drained cleanly' in server log"
+
+echo "serve_e2e: PASS"

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+
+	"floatprint"
+)
+
+// optionsFromQuery maps the common query parameters onto
+// floatprint.Options; the library's own validation (Options.norm at
+// the API boundary) rejects bad bases, so only syntax is checked here.
+func optionsFromQuery(q url.Values) (*floatprint.Options, error) {
+	opts := &floatprint.Options{}
+	if b := q.Get("base"); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil {
+			return nil, fmt.Errorf("bad base %q", b)
+		}
+		opts.Base = n
+	}
+	switch q.Get("mode") {
+	case "", "even":
+		opts.Reader = floatprint.ReaderNearestEven
+	case "unknown":
+		opts.Reader = floatprint.ReaderUnknown
+	case "away":
+		opts.Reader = floatprint.ReaderNearestAway
+	case "zero":
+		opts.Reader = floatprint.ReaderNearestTowardZero
+	default:
+		return nil, fmt.Errorf("bad mode %q (want even, unknown, away, zero)", q.Get("mode"))
+	}
+	switch q.Get("notation") {
+	case "", "auto":
+		opts.Notation = floatprint.NotationAuto
+	case "sci":
+		opts.Notation = floatprint.NotationScientific
+	case "pos":
+		opts.Notation = floatprint.NotationPositional
+	default:
+		return nil, fmt.Errorf("bad notation %q (want auto, sci, pos)", q.Get("notation"))
+	}
+	switch q.Get("nomarks") {
+	case "", "0", "false":
+	case "1", "true":
+		opts.NoMarks = true
+	default:
+		return nil, fmt.Errorf("bad nomarks %q", q.Get("nomarks"))
+	}
+	return opts, nil
+}
+
+// parseValue reads the v query parameter.  Out-of-range literals keep
+// strconv's IEEE semantics (±Inf) instead of failing: a client that
+// sends 1e999 gets back what a float64 read of 1e999 is.
+func parseValue(q url.Values, bitSize int) (float64, error) {
+	vs := q.Get("v")
+	if vs == "" {
+		return 0, errors.New("missing v parameter")
+	}
+	v, err := strconv.ParseFloat(vs, bitSize)
+	if err != nil && !errors.Is(err, strconv.ErrRange) {
+		return 0, fmt.Errorf("bad value %q", vs)
+	}
+	return v, nil
+}
+
+// writeDigits renders d under opts and writes it as one text line.
+func writeDigits(w http.ResponseWriter, d floatprint.Digits, opts *floatprint.Options) {
+	out, err := d.Append(make([]byte, 0, 32), opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(append(out, '\n'))
+}
+
+// handleShortest serves GET /v1/shortest: the free-format (shortest
+// round-tripping) rendering of one value.
+func (s *Server) handleShortest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	opts, err := optionsFromQuery(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var d floatprint.Digits
+	if q.Get("bits") == "32" {
+		v, verr := parseValue(q, 32)
+		if verr != nil {
+			http.Error(w, verr.Error(), http.StatusBadRequest)
+			return
+		}
+		d, err = floatprint.ShortestDigits32(float32(v), opts)
+	} else {
+		v, verr := parseValue(q, 64)
+		if verr != nil {
+			http.Error(w, verr.Error(), http.StatusBadRequest)
+			return
+		}
+		d, err = floatprint.ShortestDigits(v, opts)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeDigits(w, d, opts)
+}
+
+// handleFixed serves GET /v1/fixed: fixed-format rendering at n
+// significant digits (n=...) or at an absolute digit position
+// (pos=...), with '#' marks past the point of significance unless
+// nomarks is set.
+func (s *Server) handleFixed(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	opts, err := optionsFromQuery(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ns, ps := q.Get("n"), q.Get("pos")
+	if (ns == "") == (ps == "") {
+		http.Error(w, "exactly one of n (significant digits) or pos (absolute position) is required",
+			http.StatusBadRequest)
+		return
+	}
+	var d floatprint.Digits
+	switch {
+	case ns != "":
+		n, aerr := strconv.Atoi(ns)
+		if aerr != nil {
+			http.Error(w, fmt.Sprintf("bad n %q", ns), http.StatusBadRequest)
+			return
+		}
+		if q.Get("bits") == "32" {
+			v, verr := parseValue(q, 32)
+			if verr != nil {
+				http.Error(w, verr.Error(), http.StatusBadRequest)
+				return
+			}
+			d, err = floatprint.FixedDigits32(float32(v), n, opts)
+		} else {
+			v, verr := parseValue(q, 64)
+			if verr != nil {
+				http.Error(w, verr.Error(), http.StatusBadRequest)
+				return
+			}
+			d, err = floatprint.FixedDigits(v, n, opts)
+		}
+	default:
+		pos, aerr := strconv.Atoi(ps)
+		if aerr != nil {
+			http.Error(w, fmt.Sprintf("bad pos %q", ps), http.StatusBadRequest)
+			return
+		}
+		v, verr := parseValue(q, 64)
+		if verr != nil {
+			http.Error(w, verr.Error(), http.StatusBadRequest)
+			return
+		}
+		d, err = floatprint.FixedPositionDigits(v, pos, opts)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeDigits(w, d, opts)
+}
+
+// batchBlockValues is how many input values accumulate before a block
+// is handed to the pool: large enough that the shard pipeline has real
+// work per block, small enough that in-flight memory stays bounded
+// (one block slab plus the pool's 2×shards chunk buffers) no matter
+// how long the request stream is.
+const batchBlockValues = 65536
+
+// handleBatch serves POST /v1/batch: a stream of float64 values in
+// (NDJSON lines, or packed little-endian binary with Content-Type
+// application/octet-stream), the shortest rendering of each value out,
+// one per line, in input order.  Conversion and response writing
+// overlap through batch.Pool.WriteAll, and the request context —
+// carrying both the per-request timeout and client disconnect —
+// cancels mid-stream conversion.
+//
+// Input errors before the first output byte produce a 4xx; after
+// output has started the handler aborts the connection (the net/http
+// abort sentinel), so a malformed tail can never masquerade as a
+// complete response.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
+
+	st := &batchStream{s: s, w: w, r: r}
+	var err error
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		err = st.runBinary(body)
+	} else {
+		err = st.runNDJSON(body)
+	}
+	if err != nil {
+		st.fail(err)
+	}
+}
+
+// batchStream is the per-request state of a streaming batch: the
+// accumulating block and whether output has started (which decides
+// between a clean 4xx and a connection abort on failure).
+type batchStream struct {
+	s       *Server
+	w       http.ResponseWriter
+	r       *http.Request
+	block   []float64
+	started bool
+}
+
+// statusError carries the HTTP status a pre-stream failure should map
+// to.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// fail reports err: as an HTTP status if nothing has been written yet,
+// otherwise by aborting the connection.
+func (st *batchStream) fail(err error) {
+	if st.started {
+		st.s.log.Printf("serve: aborting batch stream: %v", err)
+		panic(http.ErrAbortHandler)
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		http.Error(st.w, se.msg, se.code)
+		return
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		http.Error(st.w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		http.Error(st.w, "request body read timed out", http.StatusRequestTimeout)
+		return
+	}
+	if errors.Is(err, st.r.Context().Err()) && st.r.Context().Err() != nil {
+		http.Error(st.w, "request timed out or canceled", http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(st.w, err.Error(), http.StatusBadRequest)
+}
+
+// push adds one value, flushing the block to the pool when full.
+func (st *batchStream) push(v float64) error {
+	if st.block == nil {
+		st.block = make([]float64, 0, batchBlockValues)
+	}
+	st.block = append(st.block, v)
+	if len(st.block) == cap(st.block) {
+		return st.flush()
+	}
+	return nil
+}
+
+// flush streams the accumulated block through the pool and flushes the
+// response writer, so clients observe output as it is produced.
+func (st *batchStream) flush() error {
+	if len(st.block) == 0 {
+		return nil
+	}
+	if !st.started {
+		st.w.Header().Set("Content-Type", "application/x-ndjson")
+		st.started = true
+	}
+	n, err := st.s.pool.WriteAll(st.r.Context(), st.block, st.w)
+	st.block = st.block[:0]
+	if err != nil {
+		if n > 0 {
+			// Partial output reached the wire: only an abort is honest.
+			st.s.log.Printf("serve: aborting batch stream mid-write: %v", err)
+			panic(http.ErrAbortHandler)
+		}
+		return err
+	}
+	if f, ok := st.w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return nil
+}
+
+// finish flushes the final partial block and, for an empty result,
+// still commits a 200 with an empty body.
+func (st *batchStream) finish() error {
+	if err := st.flush(); err != nil {
+		return err
+	}
+	if !st.started {
+		st.w.Header().Set("Content-Type", "application/x-ndjson")
+		st.w.WriteHeader(http.StatusOK)
+	}
+	return nil
+}
+
+// runNDJSON consumes newline-delimited numeric values.
+func (st *batchStream) runNDJSON(body io.Reader) error {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil && !errors.Is(err, strconv.ErrRange) {
+			return &statusError{http.StatusBadRequest, fmt.Sprintf("line %d: bad value %q", line, text)}
+		}
+		if err := st.push(v); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return st.finish()
+}
+
+// runBinary consumes packed little-endian float64s.
+func (st *batchStream) runBinary(body io.Reader) error {
+	buf := make([]byte, 8*4096)
+	rem := 0
+	for {
+		n, err := io.ReadFull(body, buf[rem:])
+		n += rem
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if n%8 != 0 {
+				return &statusError{http.StatusBadRequest,
+					fmt.Sprintf("body length not a multiple of 8 (%d trailing bytes)", n%8)}
+			}
+		} else if err != nil {
+			return err
+		}
+		for i := 0; i+8 <= n; i += 8 {
+			if perr := st.push(math.Float64frombits(binary.LittleEndian.Uint64(buf[i:]))); perr != nil {
+				return perr
+			}
+		}
+		rem = n % 8
+		if rem > 0 {
+			copy(buf, buf[n-rem:n])
+		}
+		if err != nil { // EOF with a whole number of values
+			return st.finish()
+		}
+	}
+}
+
+// handleHealthz serves liveness; it bypasses the limiter so health
+// checks keep passing while the service sheds load (shedding is the
+// designed overload behavior, not ill health).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}

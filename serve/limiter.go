@@ -1,0 +1,36 @@
+package serve
+
+// limiter is the admission controller: a counting semaphore sized to
+// the in-flight cap, probed without blocking.  Load is shed at the
+// door, never queued — a queued conversion request is memory (its body
+// buffers, its connection) held hostage to work the server has already
+// promised to others, and under sustained overload a queue converts a
+// latency problem into an OOM.  Shedding keeps the server's memory
+// proportional to the cap, and the 429 tells a well-behaved client
+// exactly when to come back.
+type limiter struct {
+	sem chan struct{}
+}
+
+func newLimiter(n int) *limiter {
+	return &limiter{sem: make(chan struct{}, n)}
+}
+
+// tryAcquire claims a slot if one is free, without waiting.
+func (l *limiter) tryAcquire() bool {
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a slot claimed by tryAcquire.
+func (l *limiter) release() { <-l.sem }
+
+// inFlight reports currently held slots.
+func (l *limiter) inFlight() int { return len(l.sem) }
+
+// limit reports the cap.
+func (l *limiter) limit() int { return cap(l.sem) }

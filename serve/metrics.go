@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"floatprint"
+	"floatprint/internal/stats"
+)
+
+// metrics is the server-side counter set, built on the same primitives
+// as the library's conversion telemetry (internal/stats) so both halves
+// of a /metrics scrape come off one pipeline: cache-line-padded atomic
+// counters, written out in Prometheus text format.  Unlike the
+// library's gated path-mix counters, these are Raw — request accounting
+// is always on.
+type metrics struct {
+	requests stats.Raw // every arrival at a conversion endpoint
+	sheds    stats.Raw // arrivals rejected 429 at the in-flight cap
+	panics   stats.Raw // handler panics converted to 500s
+	bytesOut stats.Raw // response bytes written by conversion endpoints
+	code2xx  stats.Raw
+	code4xx  stats.Raw
+	code5xx  stats.Raw
+	latency  *stats.Histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		latency: stats.NewHistogram(
+			0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+		),
+	}
+}
+
+// writePrometheus emits the server counters.
+func (m *metrics) writePrometheus(w io.Writer, inFlight, limit int) error {
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"fpserved_requests_total", "Requests received at conversion endpoints, sheds included.", m.requests.Load()},
+		{"fpserved_shed_total", "Requests shed with 429 at the in-flight cap.", m.sheds.Load()},
+		{"fpserved_panics_total", "Handler panics recovered into 500s.", m.panics.Load()},
+		{"fpserved_response_bytes_total", "Response bytes written by conversion endpoints.", m.bytesOut.Load()},
+	} {
+		if err := stats.WriteCounter(w, c.name, c.help, c.v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP fpserved_responses_total Responses by status class.\n"+
+			"# TYPE fpserved_responses_total counter\n"+
+			"fpserved_responses_total{class=\"2xx\"} %d\n"+
+			"fpserved_responses_total{class=\"4xx\"} %d\n"+
+			"fpserved_responses_total{class=\"5xx\"} %d\n",
+		m.code2xx.Load(), m.code4xx.Load(), m.code5xx.Load()); err != nil {
+		return err
+	}
+	if err := stats.WriteGauge(w, "fpserved_in_flight",
+		"Conversion requests currently admitted.", int64(inFlight)); err != nil {
+		return err
+	}
+	if err := stats.WriteGauge(w, "fpserved_in_flight_limit",
+		"Admission cap; arrivals past it are shed.", int64(limit)); err != nil {
+		return err
+	}
+	return m.latency.WritePrometheus(w, "fpserved_request_seconds",
+		"Conversion request latency, sheds included.")
+}
+
+// handleMetrics serves the combined exposition: the library's
+// conversion-path counters (floatprint.Snapshot — grisu/Gay/exact mix,
+// batch value and byte totals) followed by the server's request
+// counters.  It bypasses the limiter: observability must survive the
+// very overload it is there to explain.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := floatprint.Snapshot().WritePrometheus(w); err != nil {
+		return
+	}
+	s.metrics.writePrometheus(w, s.limiter.inFlight(), s.limiter.limit())
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter records the status code and byte count a handler
+// produced, for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming batch responses
+// keep flushing through the middleware wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the real writer through
+// the metrics wrapper (the timed middleware sets per-request read
+// deadlines on it).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// recovered converts handler panics into 500s and counts them.  The
+// net/http abort sentinel is re-raised: it is how a streaming handler
+// deliberately breaks a connection mid-response (e.g. a batch input
+// error after bytes have been written), and swallowing it would turn a
+// visibly broken stream into a silently truncated "success".
+func (s *Server) recovered(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.metrics.panics.Inc()
+			s.log.Printf("serve: panic in %s %s: %v", r.Method, r.URL.Path, p)
+			// Best effort: if the handler already wrote, this is a no-op
+			// on the wire, but the connection still dies with the panic.
+			http.Error(w, "internal server error", http.StatusInternalServerError)
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// instrumented counts every arrival and times every response,
+// sheds included: the latency histogram under overload shows the cheap
+// 429s next to the admitted work, which is exactly the shape an
+// operator needs to see.
+func (s *Server) instrumented(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		s.metrics.latency.Observe(time.Since(start).Seconds())
+		s.metrics.bytesOut.Add(uint64(sw.bytes))
+		switch {
+		case sw.status >= 500:
+			s.metrics.code5xx.Inc()
+		case sw.status >= 400:
+			s.metrics.code4xx.Inc()
+		default:
+			s.metrics.code2xx.Inc()
+		}
+	})
+}
+
+// admitted enforces the in-flight cap: claim a slot or shed with 429
+// and a Retry-After hint.
+func (s *Server) admitted(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.limiter.tryAcquire() {
+			s.metrics.sheds.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			http.Error(w, fmt.Sprintf("in-flight cap %d reached, retry later", s.limiter.limit()),
+				http.StatusTooManyRequests)
+			return
+		}
+		defer s.limiter.release()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// timed bounds the request with the configured timeout.  The deadline
+// reaches the handler two ways: as context cancellation (the batch
+// engine checks it every chunk while converting) and as a connection
+// read deadline (a client that stalls mid-body fails its next Read
+// instead of pinning an admission slot forever).
+func (s *Server) timed(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		// Best effort: httptest's plain ResponseRecorder has no
+		// deadline support, and the ctx deadline still applies there.
+		rc := http.NewResponseController(w)
+		_ = rc.SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout))
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

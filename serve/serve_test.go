@@ -1,0 +1,547 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"floatprint"
+	"floatprint/internal/schryer"
+)
+
+// newTestServer boots a Server over a real listener (httptest) so
+// streaming, deadlines, and connection aborts behave as in production.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestShortestEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		query, want string
+	}{
+		{"v=0.3", "0.3\n"},
+		{"v=1e23", "1e23\n"},
+		{"v=-0.25", "-0.25\n"},
+		{"v=NaN", "NaN\n"},
+		{"v=255.5&base=16", "ff.8\n"},
+		{"v=1e23&mode=unknown", "9.999999999999999e22\n"},
+		{"v=1234.5&notation=sci", "1.2345e3\n"},
+		{"v=0.1&bits=32", "0.1\n"},
+	} {
+		code, body := get(t, ts.URL+"/v1/shortest?"+tc.query)
+		if code != http.StatusOK || body != tc.want {
+			t.Errorf("shortest?%s = %d %q, want 200 %q", tc.query, code, body, tc.want)
+		}
+	}
+	for _, q := range []string{"", "v=abc", "v=1&base=99", "v=1&mode=bogus", "v=1&notation=x", "v=1&nomarks=maybe"} {
+		if code, _ := get(t, ts.URL+"/v1/shortest?"+q); code != http.StatusBadRequest {
+			t.Errorf("shortest?%s = %d, want 400", q, code)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/shortest", "text/plain", strings.NewReader("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST shortest = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestFixedEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		query, want string
+	}{
+		{"v=3.14159&n=3", "3.14\n"},
+		{"v=100&pos=-2", "100.00\n"},
+		{"v=0.1&n=20", "0.10000000000000000###\n"},
+		{"v=0.1&n=20&nomarks=1", "0.10000000000000000000\n"},
+		{"v=0.1&n=10&bits=32", "0.100000000#\n"},
+	} {
+		code, body := get(t, ts.URL+"/v1/fixed?"+tc.query)
+		if code != http.StatusOK || body != tc.want {
+			t.Errorf("fixed?%s = %d %q, want 200 %q", tc.query, code, body, tc.want)
+		}
+	}
+	for _, q := range []string{"v=1", "v=1&n=3&pos=2", "v=1&n=abc", "v=1&n=0", "v=1&pos=x"} {
+		if code, _ := get(t, ts.URL+"/v1/fixed?"+q); code != http.StatusBadRequest {
+			t.Errorf("fixed?%s = %d, want 400", q, code)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}
+
+// wantNDJSON is the reference byte stream a batch response must equal:
+// AppendShortest per value, newline-terminated — the batch package's
+// own byte-identity invariant carried over the wire.
+func wantNDJSON(values []float64) []byte {
+	buf := make([]byte, 0, len(values)*24)
+	for _, v := range values {
+		buf = floatprint.AppendShortest(buf, v)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+func postBatch(t *testing.T, url, contentType string, body io.Reader) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch", contentType, body)
+	if err != nil {
+		t.Fatalf("POST /v1/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read batch response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestBatchNDJSONByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	values := schryer.CorpusN(10000)
+	var in bytes.Buffer
+	for i, v := range values {
+		if i%3 == 1 {
+			v = -v
+			values[i] = v
+		}
+		fmt.Fprintf(&in, "%s\n", strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	code, out := postBatch(t, ts.URL, "application/x-ndjson", &in)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d: %s", code, out)
+	}
+	if want := wantNDJSON(values); !bytes.Equal(out, want) {
+		t.Fatalf("batch response differs from per-value AppendShortest (%d vs %d bytes)", len(out), len(want))
+	}
+}
+
+func TestBatchBinary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	values := append(schryer.CorpusN(3000), math.NaN(), math.Inf(1), math.Copysign(0, -1))
+	in := make([]byte, 8*len(values))
+	for i, v := range values {
+		binary.LittleEndian.PutUint64(in[8*i:], math.Float64bits(v))
+	}
+	code, out := postBatch(t, ts.URL, "application/octet-stream", bytes.NewReader(in))
+	if code != http.StatusOK {
+		t.Fatalf("binary batch = %d: %s", code, out)
+	}
+	if want := wantNDJSON(values); !bytes.Equal(out, want) {
+		t.Fatalf("binary batch response differs from per-value AppendShortest")
+	}
+
+	code, out = postBatch(t, ts.URL, "application/octet-stream", bytes.NewReader(in[:17]))
+	if code != http.StatusBadRequest {
+		t.Fatalf("truncated binary batch = %d %q, want 400", code, out)
+	}
+}
+
+func TestBatchEmptyAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, out := postBatch(t, ts.URL, "application/x-ndjson", strings.NewReader(""))
+	if code != http.StatusOK || len(out) != 0 {
+		t.Fatalf("empty batch = %d %q, want 200 empty", code, out)
+	}
+	code, _ = postBatch(t, ts.URL, "application/x-ndjson", strings.NewReader("1.5\nnot-a-number\n"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad line batch = %d, want 400", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET batch = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBatchAbortAfterStreamStart pins the honesty contract: an input
+// error after output has started must break the connection, not end a
+// 200 stream early as if the response were complete.
+func TestBatchAbortAfterStreamStart(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var in bytes.Buffer
+	for i := 0; i < batchBlockValues+10; i++ {
+		in.WriteString("1.5\n")
+	}
+	in.WriteString("garbage\n")
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/x-ndjson", &in)
+	if err == nil {
+		defer resp.Body.Close()
+		if _, rerr := io.ReadAll(resp.Body); rerr == nil {
+			t.Fatal("mid-stream input error produced a clean response, want aborted connection")
+		}
+	}
+}
+
+// TestBatchBodyCap checks MaxBatchBytes produces 413, not unbounded
+// buffering.
+func TestBatchBodyCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchBytes: 64})
+	code, _ := postBatch(t, ts.URL, "application/x-ndjson",
+		strings.NewReader(strings.Repeat("1.25\n", 1000)))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch = %d, want 413", code)
+	}
+}
+
+// metricValue extracts an unlabeled counter/gauge value from a
+// Prometheus text scrape.
+func metricValue(t *testing.T, scrape, name string) uint64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(scrape))
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in scrape:\n%s", name, scrape)
+	return 0
+}
+
+// TestLoadShedBurst is the acceptance check: with in-flight cap N, a
+// burst of 4N concurrent batch requests yields only 200s and 429s —
+// exactly N admitted, 3N shed, nothing queued or timed out — and the
+// /metrics scrape reports the shed count and batch byte totals
+// consistent with floatprint.Snapshot().
+func TestLoadShedBurst(t *testing.T) {
+	const capN = 4
+	floatprint.ResetStats()
+	prev := floatprint.SetStatsEnabled(true)
+	defer floatprint.SetStatsEnabled(prev)
+
+	s, ts := newTestServer(t, Config{InFlight: capN, RequestTimeout: 30 * time.Second})
+
+	type result struct {
+		code int
+		body string
+	}
+	results := make(chan result, 4*capN)
+	writers := make(chan *io.PipeWriter, 4*capN)
+	var wg sync.WaitGroup
+	for i := 0; i < 4*capN; i++ {
+		pr, pw := io.Pipe()
+		writers <- pw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/x-ndjson", pr)
+			pr.Close()
+			if err != nil {
+				t.Errorf("burst request: %v", err)
+				results <- result{code: -1}
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			results <- result{resp.StatusCode, string(body)}
+		}()
+	}
+
+	// The admitted requests block reading their pipes, holding their
+	// slots; everyone else must shed.  Wait for the dust to settle.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.metrics.sheds.Load() < 3*capN || s.limiter.inFlight() < capN {
+		if time.Now().After(deadline) {
+			t.Fatalf("burst did not settle: sheds=%d inflight=%d",
+				s.metrics.sheds.Load(), s.limiter.inFlight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Release the admitted requests: one value each, then EOF.
+	close(writers)
+	for pw := range writers {
+		go func(pw *io.PipeWriter) {
+			io.WriteString(pw, "0.3\n")
+			pw.Close()
+		}(pw)
+	}
+	wg.Wait()
+	close(results)
+
+	counts := map[int]int{}
+	for r := range results {
+		counts[r.code]++
+		if r.code == http.StatusOK && r.body != "0.3\n" {
+			t.Errorf("admitted batch body = %q, want \"0.3\\n\"", r.body)
+		}
+	}
+	if counts[http.StatusOK] != capN || counts[http.StatusTooManyRequests] != 3*capN || len(counts) != 2 {
+		t.Fatalf("burst status mix = %v, want %d×200 and %d×429 only", counts, capN, 3*capN)
+	}
+
+	// The scrape must agree with the library's own snapshot.
+	_, scrape := get(t, ts.URL+"/metrics")
+	snap := floatprint.Snapshot()
+	if got := metricValue(t, scrape, "fpserved_shed_total"); got != 3*capN {
+		t.Errorf("fpserved_shed_total = %d, want %d", got, 3*capN)
+	}
+	if got := metricValue(t, scrape, "fpserved_requests_total"); got != 4*capN {
+		t.Errorf("fpserved_requests_total = %d, want %d", got, 4*capN)
+	}
+	if got := metricValue(t, scrape, "floatprint_batch_values_total"); got != snap.BatchValues {
+		t.Errorf("floatprint_batch_values_total = %d, Snapshot().BatchValues = %d", got, snap.BatchValues)
+	}
+	if got := metricValue(t, scrape, "floatprint_batch_bytes_total"); got != snap.BatchBytes {
+		t.Errorf("floatprint_batch_bytes_total = %d, Snapshot().BatchBytes = %d", got, snap.BatchBytes)
+	}
+	if snap.BatchValues < capN {
+		t.Errorf("BatchValues = %d, want at least %d (one per admitted request)", snap.BatchValues, capN)
+	}
+}
+
+// TestOpsEndpointsBypassLimiter: with every slot held, the service
+// must still answer health checks and scrapes.
+func TestOpsEndpointsBypassLimiter(t *testing.T) {
+	s, ts := newTestServer(t, Config{InFlight: 1, RequestTimeout: 30 * time.Second})
+
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/x-ndjson", pr)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.limiter.inFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder request never admitted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz under full load = %d, want 200", code)
+	}
+	if code, scrape := get(t, ts.URL+"/metrics"); code != http.StatusOK {
+		t.Errorf("metrics under full load = %d, want 200", code)
+	} else if got := metricValue(t, scrape, "fpserved_in_flight"); got != 1 {
+		t.Errorf("fpserved_in_flight = %d, want 1", got)
+	}
+	if code, _ := get(t, ts.URL+"/v1/shortest?v=1.5"); code != http.StatusTooManyRequests {
+		t.Errorf("shortest under full load = %d, want 429", code)
+	}
+
+	pw.Close()
+	<-done
+}
+
+// TestStalledBodyTimesOut: a client that stops sending mid-body cannot
+// hold an admission slot past the request timeout.
+func TestStalledBodyTimesOut(t *testing.T) {
+	s, ts := newTestServer(t, Config{InFlight: 1, RequestTimeout: 300 * time.Millisecond})
+
+	pr, pw := io.Pipe()
+	go io.WriteString(pw, "1.5\n") // a valid prefix, then silence
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/x-ndjson", pr)
+	// Either a clean timeout status or a broken connection is
+	// acceptable; holding the slot forever is not.
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	pw.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.limiter.inFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled request still holds its slot after timeout")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGracefulShutdownDrains boots a real listener, starts a batch
+// mid-stream, shuts down, and checks the in-flight request completes
+// and the server exits cleanly within the drain deadline.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := New(Config{Addr: "127.0.0.1:0", RequestTimeout: 30 * time.Second,
+		Logger: log.New(io.Discard, "", 0)})
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve() }()
+
+	pr, pw := io.Pipe()
+	respDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post("http://"+s.Addr()+"/v1/batch", "application/x-ndjson", pr)
+		if err != nil {
+			respDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err == nil && string(body) != "0.5\n1.5\n" {
+			err = fmt.Errorf("drained body = %q", body)
+		}
+		respDone <- err
+	}()
+	io.WriteString(pw, "0.5\n")
+	time.Sleep(50 * time.Millisecond) // let the request reach the handler
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond) // shutdown must wait for the stream
+	io.WriteString(pw, "1.5\n")
+	pw.Close()
+
+	if err := <-respDone; err != nil {
+		t.Fatalf("in-flight request during shutdown: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown, want nil", err)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	get(t, ts.URL+"/v1/shortest?v=0.3")
+	get(t, ts.URL+"/v1/shortest?v=bogus")
+	_, scrape := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE floatprint_grisu_hits_total counter",
+		"# TYPE fpserved_requests_total counter",
+		"# TYPE fpserved_request_seconds histogram",
+		"fpserved_request_seconds_bucket{le=\"+Inf\"} 2",
+		"fpserved_responses_total{class=\"2xx\"} 1",
+		"fpserved_responses_total{class=\"4xx\"} 1",
+		"fpserved_in_flight_limit 64",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q:\n%s", want, scrape)
+		}
+	}
+}
+
+// TestPanicRecovery: a handler panic becomes a 500 and a counter, not
+// a dead server.
+func TestPanicRecovery(t *testing.T) {
+	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+	mux := http.NewServeMux()
+	mux.Handle("/boom", s.instrumented(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	})))
+	ts := httptest.NewServer(s.recovered(mux))
+	defer ts.Close()
+	code, _ := get(t, ts.URL+"/boom")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", code)
+	}
+	if got := s.metrics.panics.Load(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+}
+
+// BenchmarkServeShortest measures single-value request throughput over
+// a real loopback connection — the serving tax on top of the ~tens of
+// nanoseconds the conversion itself costs.
+func BenchmarkServeShortest(b *testing.B) {
+	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	url := ts.URL + "/v1/shortest?v=0.3"
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeBatchNDJSON measures end-to-end streaming batch
+// throughput (parse + convert + write) over loopback.
+func BenchmarkServeBatchNDJSON(b *testing.B) {
+	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	values := schryer.CorpusN(65536)
+	var in bytes.Buffer
+	for _, v := range values {
+		fmt.Fprintf(&in, "%s\n", strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	payload := in.Bytes()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/batch", "application/x-ndjson", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.ReportMetric(float64(len(values))*float64(b.N)/b.Elapsed().Seconds(), "values/s")
+}

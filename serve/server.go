@@ -1,0 +1,194 @@
+// Package serve is the network front end: it exposes the library's
+// conversion paths — single-value shortest and fixed format, and the
+// batch engine's ordered streaming — over HTTP, production-shaped.
+//
+// "Production-shaped" means the parts a toy mux omits:
+//
+//   - Admission control.  At most Config.InFlight conversion requests
+//     run at once; excess load is shed immediately with 429 and a
+//     Retry-After hint instead of queueing unboundedly (a conversion
+//     service's queue is pure memory growth: every queued batch holds
+//     its body buffers while it waits).
+//   - Per-request timeouts, propagated as context cancellation into
+//     batch.Pool.WriteAll, so a stuck client cannot pin a worker set.
+//   - Panic recovery that converts handler panics to 500s and counts
+//     them, without masking net/http's own abort sentinel.
+//   - Graceful shutdown: Shutdown stops accepting and drains in-flight
+//     batches up to the caller's deadline.
+//   - Observability: /metrics exposes the library's conversion-path
+//     telemetry (floatprint.Stats.WritePrometheus) and the server's own
+//     request counters through one Prometheus text scrape, so the path
+//     mix and the traffic that produced it are read together.
+//
+// Endpoints:
+//
+//	GET  /v1/shortest?v=0.3[&base=16&mode=unknown&notation=sci&nomarks=1&bits=32]
+//	GET  /v1/fixed?v=3.14159&n=3        (or &pos=-2 for absolute position)
+//	POST /v1/batch                      NDJSON lines, or packed little-endian
+//	                                    float64s with Content-Type
+//	                                    application/octet-stream; responds with
+//	                                    NDJSON shortest renderings, streamed
+//	GET  /healthz
+//	GET  /metrics
+//
+// The batch response is byte-identical to floatprint.AppendShortest on
+// each value followed by '\n', whatever the shard count — the same
+// invariant the batch package maintains.
+package serve
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"floatprint/batch"
+)
+
+// Config tunes a Server.  The zero value is ready to use.
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a random port).
+	// Empty means ":8080".
+	Addr string
+	// InFlight caps concurrently admitted conversion requests; arrivals
+	// past the cap are shed with 429 + Retry-After.  Zero or negative
+	// means 64.  /healthz and /metrics are exempt so the service stays
+	// observable under pressure.
+	InFlight int
+	// RequestTimeout bounds each conversion request; it reaches the
+	// batch engine as context cancellation.  Zero means 30s.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with shed responses.  Zero
+	// means 1s.
+	RetryAfter time.Duration
+	// MaxBatchBytes caps a /v1/batch request body.  Zero means 1 GiB.
+	MaxBatchBytes int64
+	// BatchShards and BatchChunk configure the underlying batch.Pool
+	// (zero means the pool's defaults: GOMAXPROCS shards, 4096-value
+	// chunks).
+	BatchShards int
+	BatchChunk  int
+	// Logger receives shed, panic, and lifecycle lines.  Nil means the
+	// standard logger.
+	Logger *log.Logger
+}
+
+// Server is the fpserved HTTP service.
+type Server struct {
+	cfg     Config
+	pool    *batch.Pool
+	limiter *limiter
+	metrics *metrics
+	httpSrv *http.Server
+	ln      net.Listener
+	log     *log.Logger
+}
+
+// New builds a Server from cfg, applying defaults.
+func New(cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	if cfg.InFlight <= 0 {
+		cfg.InFlight = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 1 << 30
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{
+		cfg: cfg,
+		pool: batch.New(batch.Config{
+			Shards:    cfg.BatchShards,
+			ChunkSize: cfg.BatchChunk,
+			Sep:       []byte{'\n'},
+		}),
+		limiter: newLimiter(cfg.InFlight),
+		metrics: newMetrics(),
+		log:     logger,
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          logger,
+	}
+	return s
+}
+
+// Handler returns the full middleware-wrapped route set.  It is what
+// the listener serves; tests drive it directly through httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	// Conversion endpoints go through the full stack; the ops
+	// endpoints skip the limiter (and the request metrics, so scraping
+	// does not pollute the request counters it reports).
+	mux.Handle("/v1/shortest", s.limited(http.HandlerFunc(s.handleShortest)))
+	mux.Handle("/v1/fixed", s.limited(http.HandlerFunc(s.handleFixed)))
+	mux.Handle("/v1/batch", s.limited(http.HandlerFunc(s.handleBatch)))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return s.recovered(mux)
+}
+
+// limited wraps a conversion handler with the request middleware, from
+// the outside in: metrics (every arrival counts, sheds included), then
+// admission, then the per-request timeout.
+func (s *Server) limited(h http.Handler) http.Handler {
+	return s.instrumented(s.admitted(s.timed(h)))
+}
+
+// Listen binds the configured address.  After Listen, Addr reports the
+// actual address (useful with ":0").
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address, or the configured one before
+// Listen.
+func (s *Server) Addr() string {
+	if s.ln != nil {
+		return s.ln.Addr().String()
+	}
+	return s.cfg.Addr
+}
+
+// Serve accepts connections on the listener until Shutdown.  It
+// returns nil on graceful shutdown (http.ErrServerClosed is the normal
+// exit, not an error).
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	err := s.httpSrv.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting new connections and drains in-flight
+// requests — including streaming batches — until they finish or ctx
+// expires, whichever comes first.  A non-nil return means the drain
+// deadline passed with work still in flight.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}

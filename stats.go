@@ -2,6 +2,7 @@ package floatprint
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"floatprint/internal/stats"
@@ -83,6 +84,34 @@ func (s Stats) String() string {
 	line("batch values", s.BatchValues)
 	line("batch bytes", s.BatchBytes)
 	return sb.String()
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format (one `floatprint_*_total` counter per field, with HELP and
+// TYPE lines).  It is the library half of the serving layer's /metrics
+// endpoint — fpserved appends its server counters to the same scrape —
+// but works against any io.Writer, so an application embedding this
+// package can bolt the conversion path mix onto its own metrics
+// handler with one call.
+func (s Stats) WritePrometheus(w io.Writer) error {
+	for _, m := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"floatprint_grisu_hits_total", "Shortest conversions certified by the Grisu3 fast path.", s.GrisuHits},
+		{"floatprint_grisu_misses_total", "Shortest conversions where Grisu3 failed certification.", s.GrisuMisses},
+		{"floatprint_gay_hits_total", "Fixed conversions certified by Gay's fast path.", s.GayHits},
+		{"floatprint_gay_misses_total", "Fixed conversions where Gay's fast path declined.", s.GayMisses},
+		{"floatprint_exact_free_total", "Exact free-format (shortest) conversions.", s.ExactFree},
+		{"floatprint_exact_fixed_total", "Exact fixed-format conversions.", s.ExactFixed},
+		{"floatprint_batch_values_total", "Values converted by the batch engine.", s.BatchValues},
+		{"floatprint_batch_bytes_total", "Bytes produced by the batch engine.", s.BatchBytes},
+	} {
+		if err := stats.WriteCounter(w, m.name, m.help, m.v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fromSnap(s stats.Snapshot) Stats {

@@ -82,6 +82,50 @@ func TestStatsFallbackCounting(t *testing.T) {
 	}
 }
 
+// TestStatsWritePrometheus pins the exposition format byte for byte:
+// the /metrics endpoint of the serving layer and any scraping config
+// built against it depend on these exact metric names and line shapes.
+func TestStatsWritePrometheus(t *testing.T) {
+	s := Stats{
+		GrisuHits: 995, GrisuMisses: 5,
+		GayHits: 80, GayMisses: 20,
+		ExactFree: 25, ExactFixed: 30,
+		BatchValues: 1000, BatchBytes: 17500,
+	}
+	var sb strings.Builder
+	if err := s.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP floatprint_grisu_hits_total Shortest conversions certified by the Grisu3 fast path.
+# TYPE floatprint_grisu_hits_total counter
+floatprint_grisu_hits_total 995
+# HELP floatprint_grisu_misses_total Shortest conversions where Grisu3 failed certification.
+# TYPE floatprint_grisu_misses_total counter
+floatprint_grisu_misses_total 5
+# HELP floatprint_gay_hits_total Fixed conversions certified by Gay's fast path.
+# TYPE floatprint_gay_hits_total counter
+floatprint_gay_hits_total 80
+# HELP floatprint_gay_misses_total Fixed conversions where Gay's fast path declined.
+# TYPE floatprint_gay_misses_total counter
+floatprint_gay_misses_total 20
+# HELP floatprint_exact_free_total Exact free-format (shortest) conversions.
+# TYPE floatprint_exact_free_total counter
+floatprint_exact_free_total 25
+# HELP floatprint_exact_fixed_total Exact fixed-format conversions.
+# TYPE floatprint_exact_fixed_total counter
+floatprint_exact_fixed_total 30
+# HELP floatprint_batch_values_total Values converted by the batch engine.
+# TYPE floatprint_batch_values_total counter
+floatprint_batch_values_total 1000
+# HELP floatprint_batch_bytes_total Bytes produced by the batch engine.
+# TYPE floatprint_batch_bytes_total counter
+floatprint_batch_bytes_total 17500
+`
+	if sb.String() != want {
+		t.Fatalf("WritePrometheus output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
 // BenchmarkAppendShortestStatsEnabled quantifies the telemetry tax:
 // compare with BenchmarkAppendShortest to see the cost of one atomic
 // increment per conversion when collection is on (it is off by
