@@ -27,8 +27,11 @@ import (
 	"time"
 
 	"floatprint"
+	"floatprint/internal/core"
+	"floatprint/internal/fpformat"
 	"floatprint/internal/harness"
 	"floatprint/internal/schryer"
+	"floatprint/internal/trace"
 )
 
 func main() {
@@ -295,6 +298,37 @@ func runStats(corpus []float64) error {
 	fmt.Printf("shortest over %d values, fixed(15) over %d values:\n",
 		len(corpus), min(len(corpus), 20000))
 	fmt.Print(delta.String())
+	fmt.Println()
+
+	// Estimator behavior on the exact path, measured corpus-wide: the
+	// public API above routes ~99.5% of values through grisu, so the §3.2
+	// scale estimator's fixup rate must be measured by driving the exact
+	// algorithm directly over every value.
+	fmt.Println("== Conversion traces: §3.2 estimator fixup rate (exact path, whole corpus) ==")
+	var estimates, fixups, iterations, digits, roundUps uint64
+	var tr trace.Conversion
+	for _, v := range corpus {
+		if _, err := core.FreeFormatTraced(fpformat.DecodeFloat64(v), 10,
+			core.ScalingEstimate, core.ReaderNearestEven, &tr); err != nil {
+			return err
+		}
+		estimates++
+		if tr.FixupSteps > 0 {
+			fixups++
+		}
+		iterations += uint64(tr.Iterations)
+		digits += uint64(tr.Digits)
+		if tr.RoundedUp {
+			roundUps++
+		}
+	}
+	fmt.Printf("values                %12d\n", estimates)
+	fmt.Printf("fixups (estimate k-1) %12d  (%.2f%%; paper: 'frequently one too small')\n",
+		fixups, 100*float64(fixups)/float64(estimates))
+	fmt.Printf("mean loop iterations  %12.2f\n", float64(iterations)/float64(estimates))
+	fmt.Printf("mean output digits    %12.2f\n", float64(digits)/float64(estimates))
+	fmt.Printf("round-ups             %12d  (%.2f%%)\n",
+		roundUps, 100*float64(roundUps)/float64(estimates))
 	fmt.Println()
 	return nil
 }

@@ -10,6 +10,16 @@
 //	seq 1 10000 | awk '{print $1 * 0.1}' | curl -s --data-binary @- localhost:8080/v1/batch
 //	curl localhost:8080/metrics
 //
+// Every conversion request gets a structured access-log line on stderr
+// (log/slog: request_id, method, path, status, bytes, duration) and an
+// X-Request-Id response header.  With -debug, /debug/pprof/* and
+// /debug/exemplars (recent requests slower than -slow-request) are
+// mounted too:
+//
+//	fpserved -debug -slow-request 100ms
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//	curl localhost:8080/debug/exemplars
+//
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, and
 // in-flight requests (streaming batches included) drain for up to
 // -drain before the process exits — 0 on a clean drain, 1 if the
@@ -21,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,9 +51,16 @@ func main() {
 	shards := flag.Int("shards", 0, "batch pool shards (0 = GOMAXPROCS)")
 	chunk := flag.Int("chunk", 0, "batch pool chunk size in values (0 = 4096)")
 	statsOn := flag.Bool("stats", true, "collect conversion-path telemetry for /metrics")
+	debug := flag.Bool("debug", false, "mount /debug/pprof/* and /debug/exemplars")
+	slowReq := flag.Duration("slow-request", 250*time.Millisecond, "capture requests at least this slow into /debug/exemplars")
+	jsonLog := flag.Bool("log-json", false, "emit the access log as JSON instead of logfmt-style text")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "fpserved: ", log.LstdFlags)
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *jsonLog {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
 	floatprint.SetStatsEnabled(*statsOn)
 
 	srv := serve.New(serve.Config{
@@ -54,6 +72,9 @@ func main() {
 		BatchShards:    *shards,
 		BatchChunk:     *chunk,
 		Logger:         logger,
+		Slog:           slog.New(handler),
+		Debug:          *debug,
+		SlowRequest:    *slowReq,
 	})
 	if err := srv.Listen(); err != nil {
 		logger.Fatal(err)

@@ -71,6 +71,9 @@ func ShortestDigits32(v float32, opts *Options) (Digits, error) {
 	if o.Base == 10 && o.Scaling == ScalingEstimate {
 		if digits, k, ok := grisu.Shortest32(float32(math.Abs(float64(v)))); ok {
 			stats.GrisuHits.Inc()
+			if stats.Enabled() {
+				stats.Traces.RecordFast(TraceBackendGrisu, len(digits))
+			}
 			return Digits{
 				Class: Finite, Neg: math.Signbit(float64(v)),
 				Digits: digits, K: k, NSig: len(digits), Base: 10,
@@ -81,9 +84,26 @@ func ShortestDigits32(v float32, opts *Options) (Digits, error) {
 }
 
 // shortestValue runs the free-format conversion under already-normalized
-// options.
+// options.  When telemetry collection is enabled, a stack-allocated trace
+// rides along and is folded into the global aggregate; otherwise the
+// traced twin runs with a nil record, which is the zero-cost path.
 func shortestValue(val fpformat.Value, o Options) (Digits, error) {
+	if !stats.Enabled() {
+		return shortestValueTraced(val, o, nil)
+	}
+	var tr Trace
+	d, err := shortestValueTraced(val, o, &tr)
+	if err == nil {
+		recordAggregate(&tr)
+	}
+	return d, err
+}
+
+// shortestValueTraced is shortestValue filling tr (nil allowed) with the
+// conversion's execution record.
+func shortestValueTraced(val fpformat.Value, o Options, tr *Trace) (Digits, error) {
 	if d, done := specialDigits(val, o.Base); done {
+		traceSpecial(tr, o.Base)
 		return d, nil
 	}
 	// Grisu3 fast path (the follow-on work to the paper; see
@@ -91,21 +111,37 @@ func shortestValue(val fpformat.Value, o Options) (Digits, error) {
 	// exact algorithm's output under every reader mode, so it applies
 	// whenever the default scaling is in effect.  ~0.5% of values fail
 	// certification and take the exact path below.
+	fastMiss := false
 	if o.Base == 10 && val.Fmt == fpformat.Binary64 && o.Scaling == ScalingEstimate {
 		if v, verr := abs(val).Float64(); verr == nil {
 			if digits, k, ok := grisu.Shortest(v); ok {
 				stats.GrisuHits.Inc()
+				if tr != nil {
+					tr.Reset()
+					tr.Backend = TraceBackendGrisu
+					tr.Base = 10
+					tr.Mode = o.Reader.String()
+					tr.Iterations = len(digits)
+					tr.K = k
+					tr.Digits = len(digits)
+					tr.NSig = len(digits)
+				}
 				return Digits{
 					Class: Finite, Neg: val.Neg,
 					Digits: digits, K: k, NSig: len(digits), Base: 10,
 				}, nil
 			}
 			stats.GrisuMisses.Inc()
+			fastMiss = true
 		}
 	}
-	res, err := core.FreeFormat(abs(val), o.Base, o.Scaling.core(), o.Reader.core())
+	res, err := core.FreeFormatTraced(abs(val), o.Base, o.Scaling.core(), o.Reader.core(), tr)
 	if err != nil {
 		return Digits{}, err
+	}
+	if tr != nil {
+		// Set after the core call: the traced core entry resets the record.
+		tr.FastPathMiss = fastMiss
 	}
 	stats.ExactFree.Inc()
 	return fromResult(res, val.Neg, o.Base), nil
@@ -132,14 +168,30 @@ func FixedDigits32(v float32, n int, opts *Options) (Digits, error) {
 }
 
 // fixedValue runs the fixed-format conversion under already-normalized
-// options.  The digit count is validated here, at the public boundary, for
-// every value class — including ±0, whose zero-padding path would otherwise
-// silently accept a nonsensical count.
+// options, with the same enabled-gated aggregate tracing as shortestValue.
 func fixedValue(val fpformat.Value, n int, o Options) (Digits, error) {
+	if !stats.Enabled() {
+		return fixedValueTraced(val, n, o, nil)
+	}
+	var tr Trace
+	d, err := fixedValueTraced(val, n, o, &tr)
+	if err == nil {
+		recordAggregate(&tr)
+	}
+	return d, err
+}
+
+// fixedValueTraced runs the fixed-format conversion under
+// already-normalized options, filling tr (nil allowed).  The digit count
+// is validated here, at the public boundary, for every value class —
+// including ±0, whose zero-padding path would otherwise silently accept a
+// nonsensical count.
+func fixedValueTraced(val fpformat.Value, n int, o Options, tr *Trace) (Digits, error) {
 	if n <= 0 {
 		return Digits{}, fmt.Errorf("floatprint: digit count %d must be positive", n)
 	}
 	if d, done := specialDigits(val, o.Base); done {
+		traceSpecial(tr, o.Base)
 		if d.Class == IsZero {
 			d.Digits = make([]byte, n)
 			d.K = 1
@@ -151,22 +203,38 @@ func fixedValue(val fpformat.Value, n int, o Options) (Digits, error) {
 	// and extended-float arithmetic can *certify* its result, skip the
 	// exact algorithm.  The certificate guarantees identical output; the
 	// exact path below handles everything the fast path declines.
+	fastMiss := false
 	if o.Base == 10 && val.Fmt == fpformat.Binary64 {
 		v, verr := abs(val).Float64()
 		if verr == nil {
 			if digits, k, ok := fastpath.TryFixed(v, n); ok {
 				stats.GayHits.Inc()
+				if tr != nil {
+					tr.Reset()
+					tr.Backend = TraceBackendGay
+					tr.Base = 10
+					tr.Mode = o.Reader.String()
+					tr.RelativeN = n
+					tr.Iterations = len(digits)
+					tr.K = k
+					tr.Digits = len(digits)
+					tr.NSig = n
+				}
 				return Digits{
 					Class: Finite, Neg: val.Neg,
 					Digits: digits, K: k, NSig: n, Base: 10,
 				}, nil
 			}
 			stats.GayMisses.Inc()
+			fastMiss = true
 		}
 	}
-	res, err := core.FixedFormatRelative(abs(val), o.Base, o.Reader.core(), n)
+	res, err := core.FixedFormatRelativeTraced(abs(val), o.Base, o.Reader.core(), n, tr)
 	if err != nil {
 		return Digits{}, err
+	}
+	if tr != nil {
+		tr.FastPathMiss = fastMiss
 	}
 	stats.ExactFixed.Inc()
 	return fromResult(res, val.Neg, o.Base), nil
@@ -184,7 +252,20 @@ func FixedPositionDigits(v float64, pos int, opts *Options) (Digits, error) {
 }
 
 func fixedPositionValue(val fpformat.Value, pos int, o Options) (Digits, error) {
+	if !stats.Enabled() {
+		return fixedPositionValueTraced(val, pos, o, nil)
+	}
+	var tr Trace
+	d, err := fixedPositionValueTraced(val, pos, o, &tr)
+	if err == nil {
+		recordAggregate(&tr)
+	}
+	return d, err
+}
+
+func fixedPositionValueTraced(val fpformat.Value, pos int, o Options, tr *Trace) (Digits, error) {
 	if d, done := specialDigits(val, o.Base); done {
+		traceSpecial(tr, o.Base)
 		if d.Class == IsZero {
 			d.Digits = []byte{0}
 			d.K = pos + 1
@@ -192,7 +273,7 @@ func fixedPositionValue(val fpformat.Value, pos int, o Options) (Digits, error) 
 		}
 		return d, nil
 	}
-	res, err := core.FixedFormat(abs(val), o.Base, o.Reader.core(), pos)
+	res, err := core.FixedFormatTraced(abs(val), o.Base, o.Reader.core(), pos, tr)
 	if err != nil {
 		return Digits{}, err
 	}
@@ -287,6 +368,9 @@ func AppendShortest(dst []byte, v float64) []byte {
 	var buf [grisu.BufLen]byte
 	if n, k, ok := grisu.ShortestInto(buf[:], math.Abs(v)); ok {
 		stats.GrisuHits.Inc()
+		if stats.Enabled() {
+			stats.Traces.RecordFast(TraceBackendGrisu, n)
+		}
 		d := Digits{
 			Class: Finite, Neg: math.Signbit(v),
 			Digits: buf[:n], K: k, NSig: n, Base: 10,

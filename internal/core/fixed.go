@@ -5,6 +5,7 @@ import (
 
 	"floatprint/internal/bignat"
 	"floatprint/internal/fpformat"
+	"floatprint/internal/trace"
 )
 
 // FixedFormat converts the positive finite value v to a correctly rounded
@@ -18,12 +19,29 @@ import (
 // The reader mode plays the same endpoint-admissibility role as in free
 // format; ReaderUnknown reproduces the paper exactly.
 func FixedFormat(v fpformat.Value, base int, mode ReaderMode, j int) (Result, error) {
+	return FixedFormatTraced(v, base, mode, j, nil)
+}
+
+// FixedFormatTraced is FixedFormat recording the conversion's execution
+// trace into tr when non-nil (reset first); with tr nil it is exactly
+// FixedFormat.
+func FixedFormatTraced(v fpformat.Value, base int, mode ReaderMode, j int, tr *trace.Conversion) (Result, error) {
 	if err := checkArgs(v, base); err != nil {
 		return Result{}, err
 	}
 	lowOK, highOK := mode.boundaryOK(v)
 	st := newState(v, base, lowOK, highOK)
+	st.tr = tr
 	defer st.release()
+	if tr != nil {
+		tr.Reset()
+		tr.Backend = trace.BackendExactFixed
+		tr.Base = base
+		tr.Mode = mode.String()
+		tr.LowOK, tr.HighOK = lowOK, highOK
+		tr.Table1Case = table1Case(v)
+		tr.Position = j
+	}
 
 	// Compute the output half-ulp Bʲ/2 as a numerator over the common
 	// denominator s.  For negative j every quantity is pre-scaled by B⁻ʲ
@@ -60,9 +78,23 @@ func FixedFormat(v fpformat.Value, base int, mode ReaderMode, j int) (Result, er
 	// the estimate is floored at j−1; the fixup loop does the rest.
 	floorK := j - 1
 	k := st.scaleEstimate(v, &floorK)
+	if tr != nil {
+		tr.ScaleMethod = ScalingEstimate.String()
+		tr.ScaleK = k
+		tr.FixupSteps = k - tr.EstimateK
+	}
 
 	if k <= j {
-		return fixedAllRounded(st, j, k)
+		res, err := fixedAllRounded(st, j, k)
+		if tr == nil || err != nil {
+			return res, err
+		}
+		tr.K = res.K
+		tr.Digits = len(res.Digits)
+		tr.NSig = res.NSig
+		tr.RoundedUp = res.Digits[0] == 1
+		tr.Ops = st.ops
+		return res, nil
 	}
 
 	maxDigits := k - j
@@ -75,6 +107,7 @@ func FixedFormat(v fpformat.Value, base int, mode ReaderMode, j int) (Result, er
 		term = st.conditions()
 		if term.tc1 || term.tc2 {
 			up = st.roundUp(term)
+			st.recordLoop(len(digits), term, up)
 			break
 		}
 		if len(digits) == maxDigits {
@@ -87,7 +120,12 @@ func FixedFormat(v fpformat.Value, base int, mode ReaderMode, j int) (Result, er
 	if up {
 		// A rippling carry can grow the digit string by one and raise K,
 		// which also moves the final position: len stays == K − j.
-		digits, k = incrementLast(digits, base, k)
+		var carried int
+		digits, carried = incrementLast(digits, base, k)
+		if tr != nil {
+			tr.CarriedK = carried != k
+		}
+		k = carried
 		maxDigits = k - j
 	}
 
@@ -120,6 +158,12 @@ func FixedFormat(v fpformat.Value, base int, mode ReaderMode, j int) (Result, er
 			nsig = len(digits)
 		}
 	}
+	if tr != nil {
+		tr.K = k
+		tr.Digits = len(digits)
+		tr.NSig = nsig
+		tr.Ops = st.ops
+	}
 	return Result{Digits: digits, K: k, NSig: nsig}, nil
 }
 
@@ -148,6 +192,14 @@ func fixedAllRounded(st *state, j, k int) (Result, error) {
 // by estimating K from v alone and refining once, which the loop below
 // performs (it converges in at most two passes).
 func FixedFormatRelative(v fpformat.Value, base int, mode ReaderMode, n int) (Result, error) {
+	return FixedFormatRelativeTraced(v, base, mode, n, nil)
+}
+
+// FixedFormatRelativeTraced is FixedFormatRelative recording the
+// conversion's execution trace into tr when non-nil.  Each refinement pass
+// overwrites the record, so the trace describes the pass that produced the
+// returned digits, with Refinements counting the passes taken.
+func FixedFormatRelativeTraced(v fpformat.Value, base int, mode ReaderMode, n int, tr *trace.Conversion) (Result, error) {
 	if n <= 0 {
 		return Result{}, fmt.Errorf("core: digit count %d must be positive", n)
 	}
@@ -156,11 +208,15 @@ func FixedFormatRelative(v fpformat.Value, base int, mode ReaderMode, n int) (Re
 	}
 	j := estimateK(v, base) - n
 	for iter := 0; iter < 4; iter++ {
-		res, err := FixedFormat(v, base, mode, j)
+		res, err := FixedFormatTraced(v, base, mode, j, tr)
 		if err != nil {
 			return Result{}, err
 		}
 		if len(res.Digits) == n {
+			if tr != nil {
+				tr.RelativeN = n
+				tr.Refinements = iter + 1
+			}
 			return res, nil
 		}
 		j = res.K - n

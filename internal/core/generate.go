@@ -5,6 +5,7 @@ import (
 
 	"floatprint/internal/bignat"
 	"floatprint/internal/fpformat"
+	"floatprint/internal/trace"
 )
 
 // termination captures which of the paper's two stopping conditions held at
@@ -72,10 +73,26 @@ func (st *state) generate() (digits []byte, up bool) {
 		digits = append(digits, d)
 		t := st.conditions()
 		if t.tc1 || t.tc2 {
-			return digits, st.roundUp(t)
+			up = st.roundUp(t)
+			st.recordLoop(len(digits), t, up)
+			return digits, up
 		}
 		st.stepMul()
 	}
+}
+
+// recordLoop fills the generate-loop portion of the trace: iteration
+// count, the termination condition(s) that fired, and the final rounding
+// decision.  One call per conversion, after the loop — the loop body
+// itself carries no instrumentation.
+func (st *state) recordLoop(iterations int, t termination, up bool) {
+	if st.tr == nil {
+		return
+	}
+	st.tr.Iterations = iterations
+	st.tr.TC1, st.tr.TC2 = t.tc1, t.tc2
+	st.tr.TieBreak = t.tc1 && t.tc2
+	st.tr.RoundedUp = up
 }
 
 // incrementLast adds one to the final digit, propagating carries.  If the
@@ -110,17 +127,47 @@ func trimTrailingZeros(digits []byte) []byte {
 // is correctly rounded: |V − v| is at most half the weight of the last
 // digit (output conditions (1) and (2) of Section 2.2).
 func FreeFormat(v fpformat.Value, base int, method Scaling, mode ReaderMode) (Result, error) {
+	return FreeFormatTraced(v, base, method, mode, nil)
+}
+
+// FreeFormatTraced is FreeFormat recording the conversion's execution
+// trace into tr when non-nil: the Table-1 case, scale estimate versus
+// final scale (whether the penalty-free fixup fired), generate-loop
+// iteration count, and the final rounding decision.  The record is reset
+// before filling.  Tracing never changes the digits: with tr nil this is
+// exactly FreeFormat, and every instrumentation point is a nil check.
+func FreeFormatTraced(v fpformat.Value, base int, method Scaling, mode ReaderMode, tr *trace.Conversion) (Result, error) {
 	if err := checkArgs(v, base); err != nil {
 		return Result{}, err
 	}
 	lowOK, highOK := mode.boundaryOK(v)
 	st := newState(v, base, lowOK, highOK)
+	st.tr = tr
 	defer st.release()
+	if tr != nil {
+		tr.Reset()
+		tr.Backend = trace.BackendExactFree
+		tr.Base = base
+		tr.Mode = mode.String()
+		tr.LowOK, tr.HighOK = lowOK, highOK
+		tr.Table1Case = table1Case(v)
+	}
 	k := st.scale(method, v)
 	digits, up := st.generate()
 	if up {
-		digits, k = incrementLast(digits, base, k)
+		var carried int
+		digits, carried = incrementLast(digits, base, k)
+		if tr != nil {
+			tr.CarriedK = carried != k
+		}
+		k = carried
 	}
 	digits = trimTrailingZeros(digits)
+	if tr != nil {
+		tr.K = k
+		tr.Digits = len(digits)
+		tr.NSig = len(digits)
+		tr.Ops = st.ops
+	}
 	return Result{Digits: digits, K: k, NSig: len(digits)}, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"floatprint/internal/bignat"
 	"floatprint/internal/fpformat"
+	"floatprint/internal/trace"
 )
 
 // state carries the integer-arithmetic representation of the conversion:
@@ -24,14 +25,21 @@ type state struct {
 	base          int              // output base B
 	pows          *bignat.PowCache // powers of B
 	ops           int              // high-precision operations performed (Table 2 metric)
+	// tr, when non-nil, receives the execution trace of this conversion.
+	// Every instrumentation point below is guarded by a nil check, so the
+	// untraced hot path pays one predicted branch per recording site and
+	// nothing else.
+	tr *trace.Conversion
 }
 
 var statePool = sync.Pool{New: func() any { return new(state) }}
 
 // release returns st to the pool.  The limb buffers stay attached so the
-// next conversion starts with warmed capacity.
+// next conversion starts with warmed capacity; the trace pointer must not
+// be (a pooled state may surface on another goroutine).
 func (st *state) release() {
 	st.pows = nil
+	st.tr = nil
 	statePool.Put(st)
 }
 
@@ -52,6 +60,7 @@ func newState(v fpformat.Value, base int, lowOK, highOK bool) *state {
 	st.base = base
 	st.pows = powersOf(base)
 	st.ops = 0
+	st.tr = nil
 	// m⁺ and m⁻ are copied out of the power cache (never shared) because
 	// the digit loop multiplies them in place; the copies land in the
 	// pooled buffers.
@@ -85,6 +94,22 @@ func newState(v fpformat.Value, base int, lowOK, highOK bool) *state {
 		st.mm = append(st.mm[:0], 1)
 	}
 	return st
+}
+
+// table1Case reports which row of the paper's Table 1 initializes the
+// state for v, mirroring the branch structure of newState: 1 (e ≥ 0),
+// 2 (e ≥ 0 at a binade boundary), 3 (e < 0), 4 (e < 0 at a boundary).
+func table1Case(v fpformat.Value) int {
+	boundary := v.IsBoundary() && v.E > v.Fmt.MinExp
+	switch {
+	case v.E >= 0 && !boundary:
+		return 1
+	case v.E >= 0:
+		return 2
+	case !boundary:
+		return 3
+	}
+	return 4
 }
 
 // tooLow reports whether the current scale underestimates k: the high

@@ -23,10 +23,20 @@ func (st *state) scale(method Scaling, v fpformat.Value) (k int) {
 	switch method {
 	case ScalingIterative:
 		k = st.scaleIterative()
+		if st.tr != nil {
+			// Iterative search has no estimate to be wrong; record the
+			// found k so FixupSteps reads 0 rather than nonsense.
+			st.tr.EstimateK = k
+		}
 	case ScalingFloatLog:
 		k = st.scaleFloatLog(v)
 	default:
 		k = st.scaleEstimate(v, nil)
+	}
+	if st.tr != nil {
+		st.tr.ScaleMethod = method.String()
+		st.tr.ScaleK = k
+		st.tr.FixupSteps = k - st.tr.EstimateK
 	}
 	return k
 }
@@ -56,6 +66,9 @@ func (st *state) scaleIterative() int {
 func (st *state) scaleFloatLog(v fpformat.Value) int {
 	logB := logBValue(v, st.base)
 	k := int(math.Ceil(logB - estimateSlack))
+	if st.tr != nil {
+		st.tr.EstimateK = k
+	}
 	st.scaleByPow(k)
 	for st.tooLow() {
 		k++
@@ -82,6 +95,9 @@ func (st *state) scaleEstimate(v fpformat.Value, floorK *int) int {
 	k := estimateK(v, st.base)
 	if floorK != nil && *floorK > k {
 		k = *floorK
+	}
+	if st.tr != nil {
+		st.tr.EstimateK = k
 	}
 	st.scaleByPow(k)
 

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"floatprint/internal/fpformat"
+	"floatprint/internal/schryer"
+	"floatprint/internal/trace"
+)
+
+// TestScaleEstimatePropertySchryer verifies the paper's §3.2 claim over
+// the Schryer workload: the two-flop estimate is never above the true
+// scale and never more than one below it, so the traced record must
+// always show EstimateK <= ScaleK <= EstimateK+1 (FixupSteps 0 or 1).
+// The same must hold for the fixed path's widened-range estimate, where
+// the fixup can legitimately run further only when the requested
+// position dominates the value (covered by the floor; steps stay 0/1
+// when it does not).
+func TestScaleEstimatePropertySchryer(t *testing.T) {
+	n := schryer.CorpusSize
+	if testing.Short() {
+		n = 20000
+	}
+	corpus := schryer.CorpusN(n)
+	var tr trace.Conversion
+	fixups := 0
+	for _, f := range corpus {
+		v := fpformat.DecodeFloat64(f)
+		if _, err := FreeFormatTraced(v, 10, ScalingEstimate, ReaderNearestEven, &tr); err != nil {
+			t.Fatal(err)
+		}
+		if tr.FixupSteps != 0 && tr.FixupSteps != 1 {
+			t.Fatalf("v=%x: estimate k=%d, final k=%d: fixup steps %d, want 0 or 1 (paper §3.2)",
+				f, tr.EstimateK, tr.ScaleK, tr.FixupSteps)
+		}
+		if tr.ScaleK-tr.EstimateK != tr.FixupSteps {
+			t.Fatalf("v=%x: inconsistent trace: estimate %d, final %d, steps %d",
+				f, tr.EstimateK, tr.ScaleK, tr.FixupSteps)
+		}
+		fixups += tr.FixupSteps
+	}
+	if fixups == 0 {
+		t.Error("no fixups over the whole corpus: the paper says the estimate is 'frequently one too small'")
+	}
+	t.Logf("corpus %d values: %d fixups (%.2f%%)", len(corpus), fixups,
+		100*float64(fixups)/float64(len(corpus)))
+}
+
+// TestScaleEstimatePropertyOtherBases spot-checks the same bound for
+// non-decimal bases on a corpus sample: the estimator's error analysis
+// (log_B over float64 logs) is base-independent.
+func TestScaleEstimatePropertyOtherBases(t *testing.T) {
+	corpus := schryer.CorpusN(8000)
+	var tr trace.Conversion
+	for _, base := range []int{2, 3, 8, 16, 36} {
+		for _, f := range corpus {
+			v := fpformat.DecodeFloat64(f)
+			if _, err := FreeFormatTraced(v, base, ScalingEstimate, ReaderNearestEven, &tr); err != nil {
+				t.Fatal(err)
+			}
+			if tr.FixupSteps != 0 && tr.FixupSteps != 1 {
+				t.Fatalf("base %d v=%x: estimate k=%d, final k=%d: fixup steps %d, want 0 or 1",
+					base, f, tr.EstimateK, tr.ScaleK, tr.FixupSteps)
+			}
+		}
+	}
+}
+
+// TestFreeFormatTraceShape pins the trace record's core fields for known
+// values, so the explain plan's vocabulary stays tied to the paper.
+func TestFreeFormatTraceShape(t *testing.T) {
+	var tr trace.Conversion
+	// 1.0 is a binade boundary with e<0 (f=2^52, e=-52): Table-1 case 4,
+	// the classic estimate-one-low value (estimate 0, true scale 1).
+	if _, err := FreeFormatTraced(fpformat.DecodeFloat64(1), 10, ScalingEstimate, ReaderNearestEven, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Backend != trace.BackendExactFree || tr.Table1Case != 4 ||
+		tr.FixupSteps != 1 || tr.ScaleK != 1 || tr.Iterations != 1 || tr.Digits != 1 {
+		t.Errorf("trace for 1.0 = %+v, want case 4, one fixup to k=1, one digit", tr)
+	}
+	// 5e-324 (min subnormal) generates one digit and rounds up on a tie.
+	if _, err := FreeFormatTraced(fpformat.DecodeFloat64(5e-324), 10, ScalingEstimate, ReaderNearestEven, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Backend != trace.BackendExactFree || !tr.TieBreak || !tr.RoundedUp || tr.Digits != 1 {
+		t.Errorf("trace for 5e-324 = %+v, want tie-break round-up to one digit", tr)
+	}
+}

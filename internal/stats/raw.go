@@ -65,6 +65,15 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// reset zeroes every bucket and the running sum (tests and benchmark
+// phases, alongside the counter Reset).
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 {
 	var total uint64
@@ -109,5 +118,12 @@ func WriteCounter(w io.Writer, name, help string, v uint64) error {
 // format.
 func WriteGauge(w io.Writer, name, help string, v int64) error {
 	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	return err
+}
+
+// writeLabeled emits one sample of an already-declared metric with a
+// single label (HELP/TYPE lines are written once by the caller).
+func writeLabeled(w io.Writer, name, label, value string, v uint64) error {
+	_, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, value, v)
 	return err
 }

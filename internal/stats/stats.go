@@ -126,7 +126,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	}
 }
 
-// Reset zeroes every counter (tests and benchmark phases).
+// Reset zeroes every counter and the global trace aggregate (tests and
+// benchmark phases).
 func Reset() {
 	for _, c := range []*Counter{
 		&GrisuHits, &GrisuMisses, &GayHits, &GayMisses,
@@ -134,4 +135,5 @@ func Reset() {
 	} {
 		c.n.Store(0)
 	}
+	Traces.Reset()
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end exercise of the fpserved conversion service: boot on a
-# random port, hit every endpoint, check the 10k-value batch stream
-# byte-for-byte against the fpprint reference, scrape /metrics, and
-# verify graceful shutdown drains and exits 0 within the drain deadline.
+# random port with the debug surface enabled, hit every endpoint, check
+# the 10k-value batch stream byte-for-byte against the fpprint
+# reference, scrape /metrics (including the conversion-trace gauges),
+# exercise /debug/pprof and /debug/exemplars, verify request ids tie
+# responses to the structured access log, and verify graceful shutdown
+# drains and exits 0 within the drain deadline.
 #
 # Run from the repository root:  ./scripts/serve_e2e.sh
 set -euo pipefail
@@ -22,7 +25,9 @@ go build -o "$workdir/fpserved" ./cmd/fpserved
 go build -o "$workdir/fpprint" ./cmd/fpprint
 
 echo "== boot on a random port =="
-"$workdir/fpserved" -addr 127.0.0.1:0 -drain 10s >"$workdir/serve.log" 2>&1 &
+# -slow-request 1ns makes every request an exemplar, so the ring is
+# guaranteed non-empty by the time /debug/exemplars is checked.
+"$workdir/fpserved" -addr 127.0.0.1:0 -drain 10s -debug -slow-request 1ns >"$workdir/serve.log" 2>&1 &
 pid=$!
 
 addr=""
@@ -50,6 +55,21 @@ echo "== /v1/fixed =="
 got="$(curl -fsS "$base/v1/fixed?v=3.14159&n=3")"
 [ "$got" = "3.14" ] || fail "/v1/fixed?v=3.14159&n=3 = $got, want 3.14"
 
+echo "== request ids: response header ties to the structured access log =="
+req_id="$(curl -fsS -D - -o /dev/null "$base/v1/shortest?v=0.5" \
+  | tr -d '\r' | sed -n 's/^X-Request-Id: //pI' | head -n1)"
+[ -n "$req_id" ] || fail "no X-Request-Id header on /v1/shortest"
+# The access-log line is written after the handler returns, so the
+# response can arrive a beat before the line hits the log: retry briefly.
+found=""
+for _ in $(seq 1 50); do
+  if grep -q "request_id=$req_id" "$workdir/serve.log"; then found=1; break; fi
+  sleep 0.1
+done
+[ -n "$found" ] || { cat "$workdir/serve.log" >&2; fail "request_id=$req_id not in access log"; }
+grep "request_id=$req_id" "$workdir/serve.log" | grep -q "path=/v1/shortest" \
+  || fail "access log line for $req_id missing path"
+
 echo "== /v1/batch: 10k values, byte-identical to the fpprint reference =="
 awk 'BEGIN { srand(7); for (i = 0; i < 10000; i++) printf "%.17g\n", (rand() - 0.5) * exp((rand() - 0.5) * 200) }' \
   >"$workdir/input.txt"
@@ -65,9 +85,28 @@ batch_values="$(awk '$1 == "floatprint_batch_values_total" { print $2 }' "$workd
 [ "$batch_values" -ge 10000 ] || fail "floatprint_batch_values_total = $batch_values, want >= 10000"
 requests="$(awk '$1 == "fpserved_requests_total" { print $2 }' "$workdir/metrics.txt")"
 [ -n "$requests" ] || fail "fpserved_requests_total missing from /metrics"
-# Four conversion requests so far; /healthz and /metrics bypass the
-# instrumented chain and are deliberately not counted.
-[ "$requests" -eq 4 ] || fail "fpserved_requests_total = $requests, want 4"
+# Five conversion requests so far (three shortest, one fixed, one
+# batch); /healthz, /metrics, and /debug bypass the instrumented chain
+# and are deliberately not counted.
+[ "$requests" -eq 5 ] || fail "fpserved_requests_total = $requests, want 5"
+
+echo "== /metrics: conversion-trace telemetry =="
+trace_conv="$(awk '$1 == "floatprint_trace_conversions_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$trace_conv" ] || fail "floatprint_trace_conversions_total missing from /metrics"
+[ "$trace_conv" -ge 1 ] || fail "floatprint_trace_conversions_total = $trace_conv, want >= 1"
+grep -q '^floatprint_trace_backend_total{backend="grisu3"}' "$workdir/metrics.txt" \
+  || fail "labeled backend mix missing from /metrics"
+grep -q '^floatprint_digit_length_bucket{le="17"}' "$workdir/metrics.txt" \
+  || fail "digit-length histogram missing from /metrics"
+
+echo "== /debug/pprof and /debug/exemplars (enabled by -debug) =="
+curl -fsS "$base/debug/pprof/" | grep -q goroutine || fail "/debug/pprof/ index missing profiles"
+curl -fsS "$base/debug/exemplars" >"$workdir/exemplars.json"
+grep -q '"id"' "$workdir/exemplars.json" || fail "/debug/exemplars has no captured requests"
+grep -q '"path":"/v1/batch"' "$workdir/exemplars.json" \
+  || fail "/debug/exemplars missing the batch request exemplar"
+grep -q "\"id\":\"$req_id\"" "$workdir/exemplars.json" \
+  || fail "/debug/exemplars missing exemplar for request $req_id"
 
 echo "== graceful shutdown =="
 kill -TERM "$pid"

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer serializes writes so the slog handler can be driven from
+// the server's concurrent request goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRequestIDAndAccessLog: every conversion request gets a
+// process-unique X-Request-Id, and the structured access log carries the
+// same id with method, path, and status.
+func TestRequestIDAndAccessLog(t *testing.T) {
+	var logBuf syncBuffer
+	_, ts := newTestServer(t, Config{
+		Slog: slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+
+	idPattern := regexp.MustCompile(`^[0-9a-f]{8}-[0-9a-f]{8}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/shortest?v=0.3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-Id")
+		if !idPattern.MatchString(id) {
+			t.Fatalf("X-Request-Id = %q, want hex prefix-counter shape", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+
+		log := logBuf.String()
+		for _, want := range []string{
+			"request_id=" + id, "method=GET", "path=/v1/shortest", "status=200",
+		} {
+			if !bytes.Contains([]byte(log), []byte(want)) {
+				t.Errorf("access log missing %q:\n%s", want, log)
+			}
+		}
+	}
+}
+
+// TestAccessLogWarnsOn5xx: a 5xx response surfaces as a Warn-level
+// access record, so failures stand out of an Info-level stream.
+func TestAccessLogWarnsOn5xx(t *testing.T) {
+	var logBuf syncBuffer
+	s, _ := newTestServer(t, Config{
+		Slog: slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	h := s.instrumented(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "deliberate failure", http.StatusInternalServerError)
+	}))
+	req, _ := http.NewRequest(http.MethodGet, "/v1/shortest?v=1", nil)
+	rec := newRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.status != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.status)
+	}
+	log := logBuf.String()
+	if !bytes.Contains([]byte(log), []byte("level=WARN")) ||
+		!bytes.Contains([]byte(log), []byte("status=500")) {
+		t.Errorf("5xx access log not WARN/500:\n%s", log)
+	}
+}
+
+// newRecorder is a minimal ResponseWriter for driving middleware without
+// a network hop.
+type recorder struct {
+	header http.Header
+	status int
+	bytes  int
+}
+
+func newRecorder() *recorder { return &recorder{header: http.Header{}} }
+
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+func (r *recorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	r.bytes += len(p)
+	return len(p), nil
+}
+
+// TestDebugEndpointsGated: the profiling surface must not exist unless
+// asked for.
+func TestDebugEndpointsGated(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	for _, path := range []string{"/debug/pprof/", "/debug/exemplars"} {
+		if code, _ := get(t, off.URL+path); code != http.StatusNotFound {
+			t.Errorf("without Debug, GET %s = %d, want 404", path, code)
+		}
+	}
+
+	_, on := newTestServer(t, Config{Debug: true})
+	if code, body := get(t, on.URL+"/debug/pprof/"); code != http.StatusOK ||
+		!bytes.Contains([]byte(body), []byte("goroutine")) {
+		t.Errorf("with Debug, GET /debug/pprof/ = %d, want 200 with profile index", code)
+	}
+	if code, _ := get(t, on.URL+"/debug/exemplars"); code != http.StatusOK {
+		t.Errorf("with Debug, GET /debug/exemplars = %d, want 200", code)
+	}
+}
+
+// TestExemplarCapture: with the slow threshold at its floor, every
+// request is an exemplar; the ring returns them newest-first with ids
+// matching the response headers.
+func TestExemplarCapture(t *testing.T) {
+	_, ts := newTestServer(t, Config{Debug: true, SlowRequest: time.Nanosecond})
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/shortest?v=%d.5", ts.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ids = append(ids, resp.Header.Get("X-Request-Id"))
+	}
+
+	_, body := get(t, ts.URL+"/debug/exemplars")
+	var got struct {
+		ThresholdMS float64    `json:"threshold_ms"`
+		Total       uint64     `json:"total"`
+		Exemplars   []exemplar `json:"exemplars"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("exemplars JSON: %v\n%s", err, body)
+	}
+	if got.Total != 3 || len(got.Exemplars) != 3 {
+		t.Fatalf("total=%d len=%d, want 3 and 3:\n%s", got.Total, len(got.Exemplars), body)
+	}
+	for i, e := range got.Exemplars { // newest first
+		want := ids[len(ids)-1-i]
+		if e.ID != want {
+			t.Errorf("exemplar[%d].ID = %q, want %q", i, e.ID, want)
+		}
+		if e.Path != "/v1/shortest" || e.Status != http.StatusOK || e.DurationMS <= 0 {
+			t.Errorf("exemplar[%d] = %+v, want /v1/shortest 200 with positive duration", i, e)
+		}
+	}
+}
+
+// TestExemplarRingBounded: the ring never grows past its capacity and
+// keeps the newest entries; concurrent writers and readers are safe
+// (this is the -race twin for the exemplar ring).
+func TestExemplarRingBounded(t *testing.T) {
+	var ring exemplarRing
+	const writers, perWriter = 8, 3 * exemplarCap
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ring.add(exemplar{ID: fmt.Sprintf("w%d-%d", w, i), Status: 200})
+				if i%16 == 0 {
+					ring.snapshot() // concurrent reads while writing
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	exemplars, total := ring.snapshot()
+	if total != writers*perWriter {
+		t.Errorf("total = %d, want %d", total, writers*perWriter)
+	}
+	if len(exemplars) != exemplarCap {
+		t.Errorf("len = %d, want ring capacity %d", len(exemplars), exemplarCap)
+	}
+	seen := map[string]bool{}
+	for _, e := range exemplars {
+		if e.ID == "" || seen[e.ID] {
+			t.Fatalf("ring holds empty or duplicate entry %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}

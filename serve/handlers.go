@@ -248,7 +248,7 @@ func (e *statusError) Error() string { return e.msg }
 // otherwise by aborting the connection.
 func (st *batchStream) fail(err error) {
 	if st.started {
-		st.s.log.Printf("serve: aborting batch stream: %v", err)
+		st.s.log.Printf("serve: [%s] aborting batch stream: %v", RequestID(st.r.Context()), err)
 		panic(http.ErrAbortHandler)
 	}
 	var se *statusError
@@ -299,7 +299,7 @@ func (st *batchStream) flush() error {
 	if err != nil {
 		if n > 0 {
 			// Partial output reached the wire: only an abort is honest.
-			st.s.log.Printf("serve: aborting batch stream mid-write: %v", err)
+			st.s.log.Printf("serve: [%s] aborting batch stream mid-write: %v", RequestID(st.r.Context()), err)
 			panic(http.ErrAbortHandler)
 		}
 		return err

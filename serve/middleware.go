@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -73,22 +74,53 @@ func (s *Server) recovered(h http.Handler) http.Handler {
 // instrumented counts every arrival and times every response,
 // sheds included: the latency histogram under overload shows the cheap
 // 429s next to the admitted work, which is exactly the shape an
-// operator needs to see.
+// operator needs to see.  It also assigns the request id (header,
+// context, and access log) and captures slow requests into the
+// exemplar ring.
 func (s *Server) instrumented(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Inc()
+		id := s.reqIDs.next()
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(withRequestID(r.Context(), id))
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		h.ServeHTTP(sw, r)
-		s.metrics.latency.Observe(time.Since(start).Seconds())
+		dur := time.Since(start)
+		s.metrics.latency.Observe(dur.Seconds())
 		s.metrics.bytesOut.Add(uint64(sw.bytes))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
 		switch {
-		case sw.status >= 500:
+		case status >= 500:
 			s.metrics.code5xx.Inc()
-		case sw.status >= 400:
+		case status >= 400:
 			s.metrics.code4xx.Inc()
 		default:
 			s.metrics.code2xx.Inc()
+		}
+		if s.slog != nil {
+			level := slog.LevelInfo
+			if status >= 500 {
+				level = slog.LevelWarn
+			}
+			s.slog.LogAttrs(r.Context(), level, "request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", dur),
+			)
+		}
+		if dur >= s.cfg.SlowRequest {
+			s.exemplars.add(exemplar{
+				ID: id, Method: r.Method, Path: r.URL.Path,
+				Status: status, Bytes: sw.bytes,
+				DurationMS: float64(dur) / 1e6, Time: start.UTC(),
+			})
 		}
 	})
 }

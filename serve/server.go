@@ -30,6 +30,13 @@
 //	                                    NDJSON shortest renderings, streamed
 //	GET  /healthz
 //	GET  /metrics
+//	GET  /debug/pprof/*      (opt-in: Config.Debug)
+//	GET  /debug/exemplars    (opt-in: Config.Debug; recent slow requests)
+//
+// Every conversion request is assigned a process-unique request id,
+// returned in the X-Request-Id header and logged (when Config.Slog is
+// set) in a structured access-log record, so one slow exemplar, one log
+// line, and one client-observed response tie together by id.
 //
 // The batch response is byte-identical to floatprint.AppendShortest on
 // each value followed by '\n', whatever the shard count — the same
@@ -40,6 +47,7 @@ import (
 	"context"
 	"errors"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -73,17 +81,34 @@ type Config struct {
 	// Logger receives shed, panic, and lifecycle lines.  Nil means the
 	// standard logger.
 	Logger *log.Logger
+	// Slog, when non-nil, receives one structured access-log record per
+	// conversion request (request_id, method, path, status, bytes,
+	// duration; level Warn for 5xx).  The request id is also returned in
+	// the X-Request-Id response header and available to handlers via
+	// RequestID(ctx).  Nil disables access logging; request ids are
+	// still assigned.
+	Slog *slog.Logger
+	// Debug mounts the profiling surface: /debug/pprof/* (net/http/pprof)
+	// and /debug/exemplars (the slow-request ring).  Off by default —
+	// profiling endpoints should be a deployment decision, not a given.
+	Debug bool
+	// SlowRequest is the duration at or above which a finished request is
+	// captured into the exemplar ring.  Zero means 250ms.
+	SlowRequest time.Duration
 }
 
 // Server is the fpserved HTTP service.
 type Server struct {
-	cfg     Config
-	pool    *batch.Pool
-	limiter *limiter
-	metrics *metrics
-	httpSrv *http.Server
-	ln      net.Listener
-	log     *log.Logger
+	cfg       Config
+	pool      *batch.Pool
+	limiter   *limiter
+	metrics   *metrics
+	httpSrv   *http.Server
+	ln        net.Listener
+	log       *log.Logger
+	slog      *slog.Logger
+	reqIDs    *requestIDs
+	exemplars *exemplarRing
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -103,6 +128,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatchBytes <= 0 {
 		cfg.MaxBatchBytes = 1 << 30
 	}
+	if cfg.SlowRequest <= 0 {
+		cfg.SlowRequest = 250 * time.Millisecond
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = log.Default()
@@ -114,9 +142,12 @@ func New(cfg Config) *Server {
 			ChunkSize: cfg.BatchChunk,
 			Sep:       []byte{'\n'},
 		}),
-		limiter: newLimiter(cfg.InFlight),
-		metrics: newMetrics(),
-		log:     logger,
+		limiter:   newLimiter(cfg.InFlight),
+		metrics:   newMetrics(),
+		log:       logger,
+		slog:      cfg.Slog,
+		reqIDs:    newRequestIDs(),
+		exemplars: &exemplarRing{},
 	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
@@ -139,6 +170,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/batch", s.limited(http.HandlerFunc(s.handleBatch)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.Debug {
+		s.mountDebug(mux)
+	}
 	return s.recovered(mux)
 }
 

@@ -30,12 +30,38 @@ type Stats struct {
 	ExactFixed  uint64 // exact fixed-format conversions
 	BatchValues uint64 // values converted by the batch engine
 	BatchBytes  uint64 // bytes produced by the batch engine
+
+	// Conversion-trace aggregates (the algorithm-level telemetry fed by
+	// the tracing subsystem; see Trace).  TraceEstimates and TraceFixups
+	// measure the §3.2 scale estimator on the exact path: the fixup rate
+	// TraceFixups/TraceEstimates is the fraction of conversions where the
+	// estimate came in one low and the penalty-free fixup fired.
+	// TraceIterations and TraceDigits are summed over conversions, so
+	// dividing by TraceConversions gives the mean generate-loop length and
+	// mean output digits.  The per-backend mix and the digit-length
+	// histogram are exposed via WriteTraceMetrics.
+	TraceConversions uint64 // traced conversions folded into the aggregate
+	TraceEstimates   uint64 // exact conversions that ran the §3.2 estimator
+	TraceFixups      uint64 // estimator low by one: scale fixup fired
+	TraceIterations  uint64 // summed digit-generation loop iterations
+	TraceDigits      uint64 // summed significant output digits
+	TraceRoundUps    uint64 // conversions whose last digit rounded up
 }
 
 // Snapshot returns the current telemetry counters.  Counters only
 // advance while collection is enabled (SetStatsEnabled); a snapshot
 // taken during concurrent conversions is per-field atomic.
-func Snapshot() Stats { return fromSnap(stats.Read()) }
+func Snapshot() Stats {
+	s := fromSnap(stats.Read())
+	t := stats.Traces.Snapshot()
+	s.TraceConversions = t.Conversions
+	s.TraceEstimates = t.Estimates
+	s.TraceFixups = t.Fixups
+	s.TraceIterations = t.Iterations
+	s.TraceDigits = t.Digits
+	s.TraceRoundUps = t.RoundUps
+	return s
+}
 
 // SetStatsEnabled turns telemetry collection on or off, returning the
 // previous setting.  Collection is off by default: when disabled every
@@ -59,6 +85,13 @@ func (s Stats) Sub(prev Stats) Stats {
 		ExactFixed:  s.ExactFixed - prev.ExactFixed,
 		BatchValues: s.BatchValues - prev.BatchValues,
 		BatchBytes:  s.BatchBytes - prev.BatchBytes,
+
+		TraceConversions: s.TraceConversions - prev.TraceConversions,
+		TraceEstimates:   s.TraceEstimates - prev.TraceEstimates,
+		TraceFixups:      s.TraceFixups - prev.TraceFixups,
+		TraceIterations:  s.TraceIterations - prev.TraceIterations,
+		TraceDigits:      s.TraceDigits - prev.TraceDigits,
+		TraceRoundUps:    s.TraceRoundUps - prev.TraceRoundUps,
 	}
 }
 
@@ -83,6 +116,20 @@ func (s Stats) String() string {
 	line("exact fixed-format", s.ExactFixed)
 	line("batch values", s.BatchValues)
 	line("batch bytes", s.BatchBytes)
+	if s.TraceConversions > 0 {
+		line("traced conversions", s.TraceConversions)
+		line("scale estimates", s.TraceEstimates)
+		line("scale fixups", s.TraceFixups)
+		if s.TraceEstimates > 0 {
+			fmt.Fprintf(&sb, "  %-22s %11.2f%%\n", "fixup rate",
+				100*float64(s.TraceFixups)/float64(s.TraceEstimates))
+		}
+		fmt.Fprintf(&sb, "  %-22s %12.2f\n", "mean loop iterations",
+			float64(s.TraceIterations)/float64(s.TraceConversions))
+		fmt.Fprintf(&sb, "  %-22s %12.2f\n", "mean output digits",
+			float64(s.TraceDigits)/float64(s.TraceConversions))
+		line("round-ups", s.TraceRoundUps)
+	}
 	return sb.String()
 }
 
@@ -106,6 +153,12 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 		{"floatprint_exact_fixed_total", "Exact fixed-format conversions.", s.ExactFixed},
 		{"floatprint_batch_values_total", "Values converted by the batch engine.", s.BatchValues},
 		{"floatprint_batch_bytes_total", "Bytes produced by the batch engine.", s.BatchBytes},
+		{"floatprint_trace_conversions_total", "Conversions folded into the trace aggregate.", s.TraceConversions},
+		{"floatprint_trace_estimates_total", "Exact conversions that ran the scale estimator.", s.TraceEstimates},
+		{"floatprint_trace_fixups_total", "Scale estimates one low, corrected by the fixup loop.", s.TraceFixups},
+		{"floatprint_trace_iterations_total", "Summed digit-generation loop iterations.", s.TraceIterations},
+		{"floatprint_trace_digits_total", "Summed significant output digits.", s.TraceDigits},
+		{"floatprint_trace_roundups_total", "Conversions whose last digit rounded up.", s.TraceRoundUps},
 	} {
 		if err := stats.WriteCounter(w, m.name, m.help, m.v); err != nil {
 			return err

@@ -91,6 +91,8 @@ func TestStatsWritePrometheus(t *testing.T) {
 		GayHits: 80, GayMisses: 20,
 		ExactFree: 25, ExactFixed: 30,
 		BatchValues: 1000, BatchBytes: 17500,
+		TraceConversions: 1050, TraceEstimates: 55, TraceFixups: 17,
+		TraceIterations: 16000, TraceDigits: 15800, TraceRoundUps: 500,
 	}
 	var sb strings.Builder
 	if err := s.WritePrometheus(&sb); err != nil {
@@ -120,6 +122,24 @@ floatprint_batch_values_total 1000
 # HELP floatprint_batch_bytes_total Bytes produced by the batch engine.
 # TYPE floatprint_batch_bytes_total counter
 floatprint_batch_bytes_total 17500
+# HELP floatprint_trace_conversions_total Conversions folded into the trace aggregate.
+# TYPE floatprint_trace_conversions_total counter
+floatprint_trace_conversions_total 1050
+# HELP floatprint_trace_estimates_total Exact conversions that ran the scale estimator.
+# TYPE floatprint_trace_estimates_total counter
+floatprint_trace_estimates_total 55
+# HELP floatprint_trace_fixups_total Scale estimates one low, corrected by the fixup loop.
+# TYPE floatprint_trace_fixups_total counter
+floatprint_trace_fixups_total 17
+# HELP floatprint_trace_iterations_total Summed digit-generation loop iterations.
+# TYPE floatprint_trace_iterations_total counter
+floatprint_trace_iterations_total 16000
+# HELP floatprint_trace_digits_total Summed significant output digits.
+# TYPE floatprint_trace_digits_total counter
+floatprint_trace_digits_total 15800
+# HELP floatprint_trace_roundups_total Conversions whose last digit rounded up.
+# TYPE floatprint_trace_roundups_total counter
+floatprint_trace_roundups_total 500
 `
 	if sb.String() != want {
 		t.Fatalf("WritePrometheus output:\n%s\nwant:\n%s", sb.String(), want)

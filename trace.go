@@ -1,0 +1,87 @@
+package floatprint
+
+import (
+	"io"
+
+	"floatprint/internal/fpformat"
+	"floatprint/internal/stats"
+	"floatprint/internal/trace"
+)
+
+// Trace is a per-conversion execution record: which backend produced the
+// digits (certified Grisu3, Gay's fixed fast path, or the exact
+// big-integer algorithm), the Table-1 case, the §3.2 scale estimate
+// versus the final scale (whether the penalty-free fixup fired), the
+// generate-loop iteration count, and the final rounding decision.
+//
+// Pass a Trace to the *Traced entry points to have it filled (the record
+// is reset first, so one value can be reused across calls).  Tracing
+// never perturbs the result: a traced conversion is byte-identical to its
+// untraced twin, and the untraced path's only cost is a nil check at each
+// instrumentation point.
+type Trace = trace.Conversion
+
+// Backend constants for Trace.Backend, re-exported for callers matching
+// on the deciding algorithm.
+const (
+	TraceBackendNone       = trace.BackendNone
+	TraceBackendGrisu      = trace.BackendGrisu
+	TraceBackendGay        = trace.BackendGay
+	TraceBackendExactFree  = trace.BackendExactFree
+	TraceBackendExactFixed = trace.BackendExactFixed
+)
+
+// ShortestDigitsTraced is ShortestDigits recording the conversion's
+// execution trace into tr.  A nil tr is allowed and makes it exactly
+// ShortestDigits.
+func ShortestDigitsTraced(v float64, opts *Options, tr *Trace) (Digits, error) {
+	o, err := opts.norm()
+	if err != nil {
+		return Digits{}, err
+	}
+	return shortestValueTraced(fpformat.DecodeFloat64(v), o, tr)
+}
+
+// FixedDigitsTraced is FixedDigits recording the conversion's execution
+// trace into tr (nil allowed).
+func FixedDigitsTraced(v float64, n int, opts *Options, tr *Trace) (Digits, error) {
+	o, err := opts.norm()
+	if err != nil {
+		return Digits{}, err
+	}
+	return fixedValueTraced(fpformat.DecodeFloat64(v), n, o, tr)
+}
+
+// FixedPositionDigitsTraced is FixedPositionDigits recording the
+// conversion's execution trace into tr (nil allowed).
+func FixedPositionDigitsTraced(v float64, pos int, opts *Options, tr *Trace) (Digits, error) {
+	o, err := opts.norm()
+	if err != nil {
+		return Digits{}, err
+	}
+	return fixedPositionValueTraced(fpformat.DecodeFloat64(v), pos, o, tr)
+}
+
+// WriteTraceMetrics writes the trace aggregate's labeled backend mix and
+// the digit-length histogram in Prometheus text exposition format — the
+// parts of the conversion trace telemetry that do not fit the flat Stats
+// snapshot.  It complements Stats.WritePrometheus on the same scrape; the
+// serving layer's /metrics calls both.  The aggregate only advances while
+// collection is enabled (SetStatsEnabled).
+func WriteTraceMetrics(w io.Writer) error {
+	return stats.Traces.WritePrometheus(w)
+}
+
+// traceSpecial fills tr for a value that never reaches digit generation
+// (±0, Inf, NaN): backend "none", everything else zero.
+func traceSpecial(tr *Trace, base int) {
+	if tr != nil {
+		tr.Reset()
+		tr.Base = base
+	}
+}
+
+// recordAggregate folds a finished conversion's trace into the global
+// aggregate.  Callers only build traces for aggregation when collection
+// is enabled, so this is unconditional.
+func recordAggregate(tr *Trace) { stats.Traces.Record(tr) }
