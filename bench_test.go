@@ -25,6 +25,7 @@ import (
 	"floatprint/internal/fpformat"
 	"floatprint/internal/gay"
 	"floatprint/internal/grisu"
+	"floatprint/internal/reader"
 	"floatprint/internal/ryu"
 	"floatprint/internal/schryer"
 )
@@ -316,6 +317,53 @@ func BenchmarkParse(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Parse(strs[i%len(strs)], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchParseStrings renders the whole benchmark corpus to shortest
+// strings once, shared by the parse-path benchmarks so fast path and
+// exact reader run over identical input.
+var (
+	benchParseOnce sync.Once
+	benchParseStrs []string
+)
+
+func benchParseCorpus() []string {
+	benchParseOnce.Do(func() {
+		floats, _ := benchCorpus()
+		benchParseStrs = make([]string, len(floats))
+		for i, f := range floats {
+			benchParseStrs[i] = Shortest(f)
+		}
+	})
+	return benchParseStrs
+}
+
+// BenchmarkParse_FastPath is the headline read-side number: the public
+// Parse over shortest corpus strings, where the Eisel–Lemire path
+// certifies ~99.99% of inputs.  The acceptance bar is ≥3× the exact
+// reader below.
+func BenchmarkParse_FastPath(b *testing.B) {
+	strs := benchParseCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(strs[i%len(strs)], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse_ExactReader is the fallback baseline: the big-integer
+// reader alone on the same strings.
+func BenchmarkParse_ExactReader(b *testing.B) {
+	strs := benchParseCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reader.Parse(strs[i%len(strs)], 10, fpformat.Binary64, reader.NearestEven); err != nil {
 			b.Fatal(err)
 		}
 	}

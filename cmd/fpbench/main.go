@@ -8,6 +8,8 @@
 //	fpbench -ablation    estimator accuracy: Burger-Dybvig vs Gay
 //	fpbench -parallel    concurrent-conversion scaling with goroutine count
 //	fpbench -batch       batch-engine corpus throughput, 1 shard vs NumCPU
+//	fpbench -parse       read side: fast-path Parse vs the exact reader,
+//	                     with byte-identity verification and fallback rate
 //	fpbench -all         everything
 //	fpbench -n 50000     corpus size (default: the paper's full 250,680)
 //	fpbench -json out    also write results as a BENCH_*.json artifact
@@ -20,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -30,6 +33,7 @@ import (
 	"floatprint/internal/core"
 	"floatprint/internal/fpformat"
 	"floatprint/internal/harness"
+	"floatprint/internal/reader"
 	"floatprint/internal/schryer"
 	"floatprint/internal/trace"
 )
@@ -41,12 +45,13 @@ func main() {
 	successors := flag.Bool("successors", false, "compare with Grisu3 and Ryu (follow-on work)")
 	parallel := flag.Bool("parallel", false, "concurrent shortest-conversion scaling")
 	batchF := flag.Bool("batch", false, "batch-engine corpus throughput (1 shard vs NumCPU)")
+	parseF := flag.Bool("parse", false, "fast-path Parse vs exact reader, with fallback rate")
 	all := flag.Bool("all", false, "run every experiment")
 	n := flag.Int("n", schryer.CorpusSize, "corpus size (max 250680)")
 	jsonOut := flag.String("json", "", "write results as a BENCH JSON artifact to this path (\"-\" for stdout)")
 	flag.Parse()
 
-	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel && !*batchF {
+	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel && !*batchF && !*parseF {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -85,6 +90,11 @@ func main() {
 	}
 	if *all || *batchF {
 		if err := runBatch(corpus, art); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *parseF {
+		if err := runParse(corpus, art); err != nil {
 			fatal(err)
 		}
 	}
@@ -173,6 +183,80 @@ func runBatch(corpus []float64, art *harness.Artifact) error {
 		return err
 	}
 	fmt.Println("batch output verified byte-identical to per-value AppendShortest")
+	fmt.Println()
+	return nil
+}
+
+// runParse measures the read side: the public Parse (Eisel–Lemire fast
+// path with exact fallback) against the exact big-integer reader alone,
+// over the shortest rendering of every corpus value.  Before timing it
+// verifies the acceptance invariant — Parse must return exactly the
+// bits the exact reader returns, for every string — and afterwards it
+// reports the fast path's measured fallback rate from the telemetry
+// counters.
+func runParse(corpus []float64, art *harness.Artifact) error {
+	fmt.Println("== Read side: fast-path Parse vs exact reader (shortest corpus strings) ==")
+	strs := make([]string, len(corpus))
+	for i, v := range corpus {
+		strs[i] = floatprint.Shortest(v)
+	}
+
+	for i, s := range strs {
+		got, err := floatprint.Parse(s, nil)
+		if err != nil {
+			return fmt.Errorf("parse verify: Parse(%q): %w", s, err)
+		}
+		ev, err := reader.Parse(s, 10, fpformat.Binary64, reader.NearestEven)
+		if err != nil {
+			return fmt.Errorf("parse verify: exact reader on %q: %w", s, err)
+		}
+		want, err := ev.Float64()
+		if err != nil {
+			return fmt.Errorf("parse verify: %q: %w", s, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) || got != corpus[i] {
+			return fmt.Errorf("parse verify: %q: fast pipeline %x, exact reader %x, printed from %x",
+				s, math.Float64bits(got), math.Float64bits(want), math.Float64bits(corpus[i]))
+		}
+	}
+	fmt.Printf("verified: Parse bit-identical to the exact reader over %d strings\n", len(strs))
+
+	prev := floatprint.SetStatsEnabled(true)
+	before := floatprint.Snapshot()
+	start := time.Now()
+	for _, s := range strs {
+		if _, err := floatprint.Parse(s, nil); err != nil {
+			return err
+		}
+	}
+	fastElapsed := time.Since(start)
+	delta := floatprint.Snapshot().Sub(before)
+	floatprint.SetStatsEnabled(prev)
+
+	// The exact reader is ~25x slower; a subsample keeps -all runs quick.
+	exactN := min(len(strs), 25000)
+	start = time.Now()
+	for _, s := range strs[:exactN] {
+		if _, err := reader.Parse(s, 10, fpformat.Binary64, reader.NearestEven); err != nil {
+			return err
+		}
+	}
+	exactElapsed := time.Since(start)
+
+	fastNs := nsPerValue(fastElapsed, len(strs))
+	exactNs := nsPerValue(exactElapsed, exactN)
+	attempts := delta.ParseFastHits + delta.ParseFastMisses
+	fallback := 0.0
+	if attempts > 0 {
+		fallback = 100 * float64(delta.ParseFastMisses) / float64(attempts)
+	}
+	fmt.Printf("  fast-path Parse   %10.1f ns/op\n", fastNs)
+	fmt.Printf("  exact reader      %10.1f ns/op   (%d-value subsample)\n", exactNs, exactN)
+	fmt.Printf("  speedup           %10.1fx\n", exactNs/fastNs)
+	fmt.Printf("  fallback rate     %10.4f%%   (%d of %d attempts declined to the exact reader)\n",
+		fallback, delta.ParseFastMisses, attempts)
+	record(art, "Parse/fast", fastNs, map[string][]float64{"fallback-pct": {fallback}})
+	record(art, "Parse/exact", exactNs, nil)
 	fmt.Println()
 	return nil
 }
@@ -293,10 +377,18 @@ func runStats(corpus []float64) error {
 	for _, v := range corpus[:min(len(corpus), 20000)] {
 		buf = floatprint.AppendFixed(buf[:0], v, 15)
 	}
+	// Read side: parse each value's shortest rendering back, so the
+	// fast-path hit/fallback mix shows up in the same snapshot.
+	parseN := min(len(corpus), 20000)
+	for _, v := range corpus[:parseN] {
+		if _, err := floatprint.Parse(floatprint.Shortest(v), nil); err != nil {
+			return err
+		}
+	}
 	delta := floatprint.Snapshot().Sub(before)
 	floatprint.SetStatsEnabled(prev)
-	fmt.Printf("shortest over %d values, fixed(15) over %d values:\n",
-		len(corpus), min(len(corpus), 20000))
+	fmt.Printf("shortest over %d values, fixed(15) over %d values, Parse over %d shortest strings:\n",
+		len(corpus), min(len(corpus), 20000), parseN)
 	fmt.Print(delta.String())
 	fmt.Println()
 

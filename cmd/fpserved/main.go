@@ -1,11 +1,13 @@
 // Command fpserved runs the floatprint conversion service: shortest
-// and fixed-format conversion of single values, streaming batch
-// conversion over the sharded pool, and Prometheus metrics, with
-// explicit load-shedding at a configurable in-flight cap.
+// and fixed-format conversion of single values, number parsing through
+// the certified fast-path reader, streaming batch conversion over the
+// sharded pool, and Prometheus metrics, with explicit load-shedding at
+// a configurable in-flight cap.
 //
 //	fpserved -addr :8080 -inflight 64
 //
 //	curl 'localhost:8080/v1/shortest?v=1e23'
+//	curl 'localhost:8080/v1/parse?s=1.25e-3'
 //	curl 'localhost:8080/v1/fixed?v=3.14159&n=3'
 //	seq 1 10000 | awk '{print $1 * 0.1}' | curl -s --data-binary @- localhost:8080/v1/batch
 //	curl localhost:8080/metrics

@@ -1,6 +1,7 @@
 package floatprint
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strconv"
@@ -263,7 +264,7 @@ func TestParseBasics(t *testing.T) {
 			t.Errorf("Parse(%q) = %v, %v", c.s, got, err)
 		}
 	}
-	if got, err := Parse("1e999", nil); err != ErrRange || !math.IsInf(got, 1) {
+	if got, err := Parse("1e999", nil); !errors.Is(err, ErrRange) || !math.IsInf(got, 1) {
 		t.Errorf("Parse(1e999) = %v, %v", got, err)
 	}
 	if _, err := Parse("bogus", nil); err == nil {
@@ -276,7 +277,7 @@ func TestParse32(t *testing.T) {
 	if err != nil || got != float32(0.1) {
 		t.Errorf("Parse32(0.1) = %v, %v", got, err)
 	}
-	if got, err := Parse32("1e39", nil); err != ErrRange || !math.IsInf(float64(got), 1) {
+	if got, err := Parse32("1e39", nil); !errors.Is(err, ErrRange) || !math.IsInf(float64(got), 1) {
 		t.Errorf("Parse32(1e39) = %v, %v", got, err)
 	}
 	// Single rounding: this decimal rounds differently via float64.

@@ -9,6 +9,7 @@ package floatprint
 // seeds.
 
 import (
+	"errors"
 	"math"
 	"strconv"
 	"strings"
@@ -85,6 +86,94 @@ func FuzzShortestRoundTrip(f *testing.F) {
 		if err != nil || math.Float64bits(ours) != math.Float64bits(v) {
 			t.Fatalf("parse agreement: v=%x strconv prints %q, our Parse reads %g err=%v",
 				bits, want, ours, err)
+		}
+	})
+}
+
+// inCommonParseGrammar reports whether s lies in the intersection of
+// this package's base-10 grammar and strconv.ParseFloat's: an optional
+// sign, decimal digits with at most one point (at least one digit), and
+// an optional e/E exponent of at most 7 decimal digits (both readers
+// accept it without tripping internal caps; strconv also takes hex
+// floats and underscores, the reader also takes '@' and '#', so the
+// differential only runs where both grammars agree on what the string
+// means).
+func inCommonParseGrammar(s string) bool {
+	i := 0
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	digits, sawDot := 0, false
+	for ; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case '0' <= c && c <= '9':
+			digits++
+		case c == '.' && !sawDot:
+			sawDot = true
+		default:
+			goto exponent
+		}
+	}
+exponent:
+	if digits == 0 {
+		return false
+	}
+	if i == len(s) {
+		return true
+	}
+	if s[i] != 'e' && s[i] != 'E' {
+		return false
+	}
+	i++
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	expDigits := 0
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+		expDigits++
+	}
+	return expDigits >= 1 && expDigits <= 7
+}
+
+// FuzzParseVsStrconv differences Parse (base 10, nearest-even — the
+// certified Eisel–Lemire fast path with exact fallback) against
+// strconv.ParseFloat over the shared grammar: bit-identical values,
+// and range errors on exactly the same inputs.
+func FuzzParseVsStrconv(f *testing.F) {
+	for _, bits := range fuzzSeeds {
+		f.Add(strconv.FormatFloat(math.Float64frombits(bits), 'g', -1, 64))
+	}
+	for _, s := range []string{
+		"1e23", "-1e23", "9007199254740993", "0.1", "-0", "1e309", "-1e309",
+		"1e-325", "2.2250738585072011e-308", "4.9406564584124654e-324",
+		"123456789012345678901234567890e-20", "00000000000000000000.3",
+		"9999999999999999999999999999999999999999e-10", "1.e5", ".5e1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if !inCommonParseGrammar(s) {
+			t.Skip()
+		}
+		want, werr := strconv.ParseFloat(s, 64)
+		got, gerr := Parse(s, nil)
+		if werr != nil {
+			if !errors.Is(werr, strconv.ErrRange) {
+				t.Fatalf("oracle rejects in-grammar input %q: %v", s, werr)
+			}
+			if !errors.Is(gerr, ErrRange) {
+				t.Fatalf("Parse(%q): strconv reports range, we report %v", s, gerr)
+			}
+		} else if gerr != nil {
+			t.Fatalf("Parse(%q) = %v, strconv accepts with %g", s, gerr, want)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Parse(%q) = %g (%#x), strconv = %g (%#x)",
+				s, got, math.Float64bits(got), want, math.Float64bits(want))
 		}
 	})
 }

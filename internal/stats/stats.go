@@ -85,16 +85,28 @@ var (
 	BatchValues Counter
 	// BatchBytes counts output bytes produced by the batch engine.
 	BatchBytes Counter
+	// ParseFastHits counts parses certified by the Eisel–Lemire fast
+	// path.
+	ParseFastHits Counter
+	// ParseFastMisses counts parses where the fast path was attempted
+	// (base 10, nearest-even) but declined and the exact reader decided.
+	ParseFastMisses Counter
+	// ParseExact counts parses decided by the exact big-integer reader,
+	// including those where no fast path applied (other bases, directed
+	// modes) and those that ended in a range error.
+	ParseExact Counter
 )
 
 // Snapshot is a coherent-enough copy of every counter: each field is an
 // atomic load, so a snapshot taken while conversions are in flight may
 // straddle an individual conversion but never tears a counter.
 type Snapshot struct {
-	GrisuHits, GrisuMisses  uint64
-	GayHits, GayMisses      uint64
-	ExactFree, ExactFixed   uint64
-	BatchValues, BatchBytes uint64
+	GrisuHits, GrisuMisses         uint64
+	GayHits, GayMisses             uint64
+	ExactFree, ExactFixed          uint64
+	BatchValues, BatchBytes        uint64
+	ParseFastHits, ParseFastMisses uint64
+	ParseExact                     uint64
 }
 
 // Read snapshots all counters.
@@ -108,6 +120,10 @@ func Read() Snapshot {
 		ExactFixed:  ExactFixed.Load(),
 		BatchValues: BatchValues.Load(),
 		BatchBytes:  BatchBytes.Load(),
+
+		ParseFastHits:   ParseFastHits.Load(),
+		ParseFastMisses: ParseFastMisses.Load(),
+		ParseExact:      ParseExact.Load(),
 	}
 }
 
@@ -123,6 +139,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		ExactFixed:  s.ExactFixed - prev.ExactFixed,
 		BatchValues: s.BatchValues - prev.BatchValues,
 		BatchBytes:  s.BatchBytes - prev.BatchBytes,
+
+		ParseFastHits:   s.ParseFastHits - prev.ParseFastHits,
+		ParseFastMisses: s.ParseFastMisses - prev.ParseFastMisses,
+		ParseExact:      s.ParseExact - prev.ParseExact,
 	}
 }
 
@@ -132,6 +152,7 @@ func Reset() {
 	for _, c := range []*Counter{
 		&GrisuHits, &GrisuMisses, &GayHits, &GayMisses,
 		&ExactFree, &ExactFixed, &BatchValues, &BatchBytes,
+		&ParseFastHits, &ParseFastMisses, &ParseExact,
 	} {
 		c.n.Store(0)
 	}

@@ -34,9 +34,13 @@ const (
 	BackendExactFree
 	// BackendExactFixed is the exact big-integer fixed-format algorithm.
 	BackendExactFixed
+	// BackendFastParse is the certified Eisel–Lemire read-side fast path.
+	BackendFastParse
+	// BackendExactParse is the exact big-integer reader (read side).
+	BackendExactParse
 
 	// NumBackends sizes per-backend aggregate arrays.
-	NumBackends = int(BackendExactFixed) + 1
+	NumBackends = int(BackendExactParse) + 1
 )
 
 func (b Backend) String() string {
@@ -49,6 +53,10 @@ func (b Backend) String() string {
 		return "exact-free"
 	case BackendExactFixed:
 		return "exact-fixed"
+	case BackendFastParse:
+		return "fastparse"
+	case BackendExactParse:
+		return "exact-parse"
 	}
 	return "none"
 }

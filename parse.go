@@ -6,12 +6,16 @@ import (
 	"math"
 	"strings"
 
+	"floatprint/internal/fastparse"
 	"floatprint/internal/fpformat"
 	"floatprint/internal/reader"
+	"floatprint/internal/stats"
 )
 
 // ErrRange reports that a parsed value is outside the float64 range; the
-// accompanying result is ±Inf, as IEEE arithmetic would produce.
+// accompanying result is ±Inf, as IEEE arithmetic would produce.  Parse
+// and Parse32 return it wrapped with the offending input, so test with
+// errors.Is(err, ErrRange).
 var ErrRange = errors.New("floatprint: value out of range")
 
 // Parse reads a number in the options' base with correct rounding under
@@ -20,19 +24,77 @@ var ErrRange = errors.New("floatprint: value out of range")
 // the same holds for every base and reader mode pair when the options
 // match.  '#' marks in the input are read as zeros, so fixed-format output
 // parses back directly.  The strings "NaN", "Inf", "Infinity" (any case,
-// optional sign) are accepted like strconv.ParseFloat.
+// optional sign) are accepted like strconv.ParseFloat — except in bases
+// where every letter is itself a valid digit (base ≥ 24 for "inf"/"nan",
+// ≥ 35 for "infinity"), where the string reads as the number it spells.
+//
+// Base-10 inputs under the nearest-even reader take a certified
+// Eisel–Lemire fast path (internal/fastparse); everything the fast path
+// cannot certify — other bases, directed rounding modes, exact
+// round-to-even ties, subnormal or out-of-range magnitudes — falls back
+// to the exact big-integer reader with identical results.
 func Parse(s string, opts *Options) (float64, error) {
 	o, err := opts.norm()
 	if err != nil {
 		return 0, err
 	}
-	if f, ok := parseSpecial(s); ok {
+	if !stats.Enabled() {
+		return parse64(s, o, nil)
+	}
+	var tr Trace
+	f, err := parse64(s, o, &tr)
+	if err == nil || errors.Is(err, ErrRange) {
+		recordAggregate(&tr)
+	}
+	return f, err
+}
+
+// ParseTraced is Parse recording which path certified the result into tr:
+// Backend is TraceBackendFastParse for a certified fast-path parse and
+// TraceBackendExactParse (with FastPathMiss set when the fast path was
+// attempted first) for the exact reader.  A nil tr is allowed and makes it
+// exactly Parse.  Like the print-side *Traced twins, a traced parse is
+// bit-identical to its untraced twin and is not folded into the global
+// aggregate — the record belongs to the caller.
+func ParseTraced(s string, opts *Options, tr *Trace) (float64, error) {
+	o, err := opts.norm()
+	if err != nil {
+		return 0, err
+	}
+	return parse64(s, o, tr)
+}
+
+// parse64 is the common Parse/ParseTraced core under already-normalized
+// options.
+func parse64(s string, o Options, tr *Trace) (float64, error) {
+	if f, ok := parseSpecial(s, o.Base); ok {
+		traceSpecial(tr, o.Base)
 		return f, nil
 	}
-	v, err := reader.Parse(s, o.Base, fpformat.Binary64, o.Reader.reader())
+	fastMiss := false
+	if o.Base == 10 && o.Reader.reader() == reader.NearestEven {
+		if f, nd, ok := fastparse.Parse64(s); ok {
+			stats.ParseFastHits.Inc()
+			traceFastParse(tr, o, nd)
+			return f, nil
+		}
+		stats.ParseFastMisses.Inc()
+		fastMiss = true
+	}
+	n, err := reader.ParseText(s, o.Base)
+	if err != nil {
+		// Text errors carry no value: sign and magnitude are unknown, so
+		// nothing Inf-shaped may be derived here.
+		return 0, fmt.Errorf("floatprint: %w", err)
+	}
+	v, err := reader.Convert(n, fpformat.Binary64, o.Reader.reader())
+	stats.ParseExact.Inc()
+	traceExactParse(tr, o, n, fastMiss)
 	if err != nil {
 		if errors.Is(err, reader.ErrRange) {
-			return infFor(v.Neg), ErrRange
+			// Only the conversion's own range error implies ±Inf, and only
+			// here is v populated (the reader sets Neg on its Inf result).
+			return infFor(v.Neg), fmt.Errorf("%w (parsing %q)", ErrRange, s)
 		}
 		return 0, fmt.Errorf("floatprint: %w", err)
 	}
@@ -46,17 +108,67 @@ func Parse32(s string, opts *Options) (float32, error) {
 	if err != nil {
 		return 0, err
 	}
-	if f, ok := parseSpecial(s); ok {
+	if f, ok := parseSpecial(s, o.Base); ok {
 		return float32(f), nil
 	}
-	v, err := reader.Parse(s, o.Base, fpformat.Binary32, o.Reader.reader())
+	if o.Base == 10 && o.Reader.reader() == reader.NearestEven {
+		if f, nd, ok := fastparse.Parse32(s); ok {
+			stats.ParseFastHits.Inc()
+			if stats.Enabled() {
+				stats.Traces.RecordFast(TraceBackendFastParse, nd)
+			}
+			return f, nil
+		}
+		stats.ParseFastMisses.Inc()
+	}
+	n, err := reader.ParseText(s, o.Base)
+	if err != nil {
+		return 0, fmt.Errorf("floatprint: %w", err)
+	}
+	v, err := reader.Convert(n, fpformat.Binary32, o.Reader.reader())
+	stats.ParseExact.Inc()
+	if stats.Enabled() {
+		stats.Traces.RecordFast(TraceBackendExactParse, len(n.Digits))
+	}
 	if err != nil {
 		if errors.Is(err, reader.ErrRange) {
-			return float32(infFor(v.Neg)), ErrRange
+			return float32(infFor(v.Neg)), fmt.Errorf("%w (parsing %q)", ErrRange, s)
 		}
 		return 0, fmt.Errorf("floatprint: %w", err)
 	}
 	return v.Float32()
+}
+
+// traceFastParse fills tr for a parse certified by the Eisel–Lemire fast
+// path: nd significant decimal digits in, one 128-bit multiply, no exact
+// arithmetic.
+func traceFastParse(tr *Trace, o Options, nd int) {
+	if tr == nil {
+		return
+	}
+	tr.Reset()
+	tr.Backend = TraceBackendFastParse
+	tr.Base = 10
+	tr.Mode = o.Reader.String()
+	tr.Digits = nd
+	tr.NSig = nd
+	tr.Iterations = nd
+}
+
+// traceExactParse fills tr for a parse decided by the exact big-integer
+// reader.
+func traceExactParse(tr *Trace, o Options, n reader.Number, fastMiss bool) {
+	if tr == nil {
+		return
+	}
+	tr.Reset()
+	tr.Backend = TraceBackendExactParse
+	tr.FastPathMiss = fastMiss
+	tr.Base = o.Base
+	tr.Mode = o.Reader.String()
+	tr.Digits = len(n.Digits)
+	tr.NSig = len(n.Digits)
+	tr.K = n.K
 }
 
 // parseDigits converts an already-split Digits value back to a float64.
@@ -78,7 +190,13 @@ func parseDigits(d Digits) (float64, error) {
 	return v.Float64()
 }
 
-func parseSpecial(s string) (float64, bool) {
+// parseSpecial recognizes the textual specials "nan", "inf", and
+// "infinity" (any case, optional sign) — but only when the word could not
+// be a digit string in the requested base.  From base 24 up, every letter
+// of "inf" and "nan" is a valid digit (i=18, n=23, f=15), and from base
+// 35 up so is all of "infinity" (t=29, y=34); there the positional parse
+// must win, exactly as the reader grammar defines it.
+func parseSpecial(s string, base int) (float64, bool) {
 	t := s
 	neg := false
 	switch {
@@ -88,13 +206,30 @@ func parseSpecial(s string) (float64, bool) {
 		neg = true
 		t = t[1:]
 	}
-	switch strings.ToLower(t) {
-	case "nan":
-		return math.NaN(), true
-	case "inf", "infinity":
-		return infFor(neg), true
+	lower := strings.ToLower(t)
+	switch lower {
+	case "nan", "inf", "infinity":
+	default:
+		return 0, false
 	}
-	return 0, false
+	if digitsInBase(lower, base) {
+		return 0, false
+	}
+	if lower == "nan" {
+		return math.NaN(), true
+	}
+	return infFor(neg), true
+}
+
+// digitsInBase reports whether every byte of s (lowercase letters here)
+// is a valid digit in the given base.
+func digitsInBase(s string, base int) bool {
+	for i := 0; i < len(s); i++ {
+		if int(s[i]-'a')+10 >= base {
+			return false
+		}
+	}
+	return true
 }
 
 func infFor(neg bool) float64 {

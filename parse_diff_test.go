@@ -1,0 +1,206 @@
+package floatprint
+
+// Differential coverage for the read side: the Eisel–Lemire fast path
+// against the exact big-integer reader over the full Schryer corpus,
+// the base-aware special-name sweep ("inf" is a perfectly good number
+// in base 24), and the parse path-mix counters.
+
+import (
+	"math"
+	"testing"
+
+	"floatprint/internal/fastparse"
+	"floatprint/internal/fpformat"
+	"floatprint/internal/reader"
+	"floatprint/internal/schryer"
+)
+
+// TestParseFastVsExactCorpus is the acceptance differential: for every
+// corpus value, the shortest rendering must (a) read back bit-exactly
+// through the full Parse pipeline and (b) whenever the fast path
+// certifies it, yield the very same bits the exact reader produces.
+// The fast path declining is always allowed; disagreeing never is.
+func TestParseFastVsExactCorpus(t *testing.T) {
+	values := schryer.Corpus()
+	if testing.Short() {
+		values = schryer.CorpusN(20000)
+	}
+	var hits, misses int
+	buf := make([]byte, 0, 32)
+	for _, v := range values {
+		buf = AppendShortest(buf[:0], v)
+		for _, s := range []string{string(buf), "-" + string(buf)} {
+			want := v
+			if s[0] == '-' {
+				want = -v
+			}
+			got, err := Parse(s, nil)
+			if err != nil || math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("Parse(%q) = %g (%#x), err=%v; want %g (%#x)",
+					s, got, math.Float64bits(got), err, want, math.Float64bits(want))
+			}
+			fast, _, ok := fastparse.Parse64(s)
+			if !ok {
+				misses++
+				continue
+			}
+			hits++
+			if math.Float64bits(fast) != math.Float64bits(want) {
+				t.Fatalf("fastparse.Parse64(%q) certified %g (%#x); exact reader says %g (%#x)",
+					s, fast, math.Float64bits(fast), want, math.Float64bits(want))
+			}
+		}
+	}
+	total := hits + misses
+	t.Logf("fast path certified %d/%d shortest strings (%.1f%%)",
+		hits, total, 100*float64(hits)/float64(total))
+	// Shortest strings are short decimals well inside the pow10 table;
+	// only ties and near-subnormals should decline.
+	if hits < total*9/10 {
+		t.Fatalf("fast-path hit rate %d/%d below 90%% on shortest strings", hits, total)
+	}
+}
+
+// TestParseFastVsExactReader32 runs the same differential at binary32
+// geometry, against reader.Parse directly.
+func TestParseFastVsExactReader32(t *testing.T) {
+	n := 50000
+	if testing.Short() {
+		n = 5000
+	}
+	for _, v := range schryer.CorpusN(n) {
+		w := float32(v)
+		if math.IsInf(float64(w), 0) {
+			continue
+		}
+		s := Shortest32(w)
+		fast, _, ok := fastparse.Parse32(s)
+		if !ok {
+			continue
+		}
+		ev, err := reader.Parse(s, 10, fpformat.Binary32, reader.NearestEven)
+		if err != nil {
+			t.Fatalf("reader.Parse(%q): %v", s, err)
+		}
+		want, err := ev.Float32()
+		if err != nil {
+			t.Fatalf("exact value of %q: %v", s, err)
+		}
+		if math.Float32bits(fast) != math.Float32bits(want) {
+			t.Fatalf("fastparse.Parse32(%q) certified %g (%#x); exact reader says %g (%#x)",
+				s, fast, math.Float32bits(fast), want, math.Float32bits(want))
+		}
+	}
+}
+
+// TestParseSpecialsBaseAware pins the satellite bugfix: "inf", "nan",
+// and "infinity" are special names only while they contain at least one
+// rune that is not a digit of the requested base.  In base 24 and up,
+// i/n/f are digits and "inf" denotes 18·24²+23·24+15; pre-fix, the
+// special check fired before the base was consulted and swallowed these.
+func TestParseSpecialsBaseAware(t *testing.T) {
+	digitVal := func(s string, base int) float64 {
+		v := 0.0
+		for i := 0; i < len(s); i++ {
+			d := int(s[i] - 'a' + 10)
+			if s[i] <= '9' {
+				d = int(s[i] - '0')
+			}
+			if d >= base {
+				t.Fatalf("digitVal: %q is not a base-%d numeral", s, base)
+			}
+			v = v*float64(base) + float64(d)
+		}
+		return v
+	}
+
+	// Below base 24 (or 35 for "infinity"), the names stay special.
+	for _, base := range []int{10, 16, 23} {
+		for _, in := range []string{"inf", "+inf", "infinity"} {
+			got, err := Parse(in, &Options{Base: base})
+			if err != nil || !math.IsInf(got, 1) {
+				t.Fatalf("Parse(%q, base=%d) = %g, %v; want +Inf", in, base, got, err)
+			}
+		}
+		if got, err := Parse("-inf", &Options{Base: base}); err != nil || !math.IsInf(got, -1) {
+			t.Fatalf("Parse(%q, base=%d) = %g, %v; want -Inf", "-inf", base, got, err)
+		}
+		if got, err := Parse("nan", &Options{Base: base}); err != nil || !math.IsNaN(got) {
+			t.Fatalf("Parse(%q, base=%d) = %g, %v; want NaN", "nan", base, got, err)
+		}
+	}
+
+	// At base 24+ every rune of "inf"/"nan" is a digit: numbers, not names.
+	for _, base := range []int{24, 30, 36} {
+		for _, name := range []string{"inf", "nan"} {
+			want := digitVal(name, base)
+			got, err := Parse(name, &Options{Base: base})
+			if err != nil || got != want {
+				t.Fatalf("Parse(%q, base=%d) = %g, %v; want the numeral %g", name, base, got, err, want)
+			}
+			if got, err := Parse("-"+name, &Options{Base: base}); err != nil || got != -want {
+				t.Fatalf("Parse(%q, base=%d) = %g, %v; want %g", "-"+name, base, got, err, -want)
+			}
+		}
+	}
+
+	// "infinity" needs 'y' (=34) and 't' (=29): digits only from base 35.
+	if got, err := Parse("infinity", &Options{Base: 34}); err != nil || !math.IsInf(got, 1) {
+		t.Fatalf("Parse(\"infinity\", base=34) = %g, %v; want +Inf ('y' is not a digit)", got, err)
+	}
+	for _, base := range []int{35, 36} {
+		want := digitVal("infinity", base)
+		got, err := Parse("infinity", &Options{Base: base})
+		if err != nil || got != want {
+			t.Fatalf("Parse(\"infinity\", base=%d) = %g, %v; want the numeral %g", base, got, err, want)
+		}
+	}
+
+	// Float32 read side shares parseSpecial; spot-check both regimes.
+	if got, err := Parse32("inf", &Options{Base: 16}); err != nil || !math.IsInf(float64(got), 1) {
+		t.Fatalf("Parse32(\"inf\", base=16) = %g, %v; want +Inf", got, err)
+	}
+	if got, err := Parse32("inf", &Options{Base: 36}); err != nil || got != float32(digitVal("inf", 36)) {
+		t.Fatalf("Parse32(\"inf\", base=36) = %g, %v; want the numeral", got, err)
+	}
+}
+
+// TestParseStatsPathMix checks that the parse counters partition the
+// traffic the way the implementation routes it: fast hits for certified
+// base-10 parses, fast misses for declines (which then also count as
+// exact parses), and exact-only for traffic the gate never offers to
+// the fast path (non-decimal bases, directed rounding).
+func TestParseStatsPathMix(t *testing.T) {
+	prev := SetStatsEnabled(true)
+	defer SetStatsEnabled(prev)
+
+	before := Snapshot()
+	for _, s := range []string{"0.3", "1.5", "-2.25"} { // certifiable
+		if _, err := Parse(s, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []string{"1e23", "5e-324"} { // declined: tie, subnormal
+		if _, err := Parse(s, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Parse("ff.8", &Options{Base: 16}); err != nil { // gate skipped
+		t.Fatal(err)
+	}
+	if _, err := Parse("0.3", &Options{Reader: ReaderNearestAway}); err != nil { // gate skipped
+		t.Fatal(err)
+	}
+	d := Snapshot().Sub(before)
+
+	if d.ParseFastHits != 3 {
+		t.Errorf("ParseFastHits = %d, want 3", d.ParseFastHits)
+	}
+	if d.ParseFastMisses != 2 {
+		t.Errorf("ParseFastMisses = %d, want 2", d.ParseFastMisses)
+	}
+	// Exact parses: the two declines plus the two gate-skipped parses.
+	if d.ParseExact != 4 {
+		t.Errorf("ParseExact = %d, want 4", d.ParseExact)
+	}
+}

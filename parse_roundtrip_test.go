@@ -84,6 +84,66 @@ func TestParseRoundTripsFixedMarks(t *testing.T) {
 	}
 }
 
+// TestParseRoundTripsBoundaries pins the subnormal-frontier and signed-
+// zero cases the fast parse path is most likely to get wrong (it
+// declines them all to the exact reader; this test proves the pipeline
+// still lands on the exact bits): Parse(Shortest(v)) == v through every
+// reader mode, for shortest and for '#'-marked fixed output.
+func TestParseRoundTripsBoundaries(t *testing.T) {
+	boundaries := []float64{
+		math.Copysign(0, -1),                     // negative zero
+		math.SmallestNonzeroFloat64,              // 5e-324, smallest subnormal
+		math.Float64frombits(0x000FFFFFFFFFFFFF), // largest subnormal
+		math.Float64frombits(0x0010000000000000), // 2.2250738585072014e-308, smallest normal
+		-math.SmallestNonzeroFloat64,
+		-math.Float64frombits(0x000FFFFFFFFFFFFF),
+		-math.Float64frombits(0x0010000000000000),
+	}
+	modes := []ReaderRounding{ReaderNearestEven, ReaderUnknown, ReaderNearestAway, ReaderNearestTowardZero}
+	for _, mode := range modes {
+		opts := &Options{Reader: mode}
+		for _, v := range boundaries {
+			s, err := Format(v, opts)
+			if err != nil {
+				t.Fatalf("%v: Format(%b): %v", mode, v, err)
+			}
+			got, err := Parse(s, opts)
+			if err != nil {
+				t.Fatalf("%v: Parse(Format(%b) = %q): %v", mode, v, s, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(v) {
+				t.Fatalf("%v: Parse(Format(%b)) = %b via %q", mode, v, got, s)
+			}
+
+			f, err := FormatFixed(v, 40, opts)
+			if err != nil {
+				t.Fatalf("%v: FormatFixed(%b, 40): %v", mode, v, err)
+			}
+			got, err = Parse(f, opts)
+			if err != nil {
+				t.Fatalf("%v: Parse(FormatFixed(%b) = %q): %v", mode, v, f, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(v) {
+				t.Fatalf("%v: Parse(FormatFixed(%b)) = %b via %q", mode, v, got, f)
+			}
+		}
+	}
+
+	// Negative zero must round-trip with its sign, not as +0.
+	for _, s := range []string{"-0", "-0.0", "-0e10", Shortest(math.Copysign(0, -1))} {
+		got, err := Parse(s, nil)
+		if err != nil || math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+			t.Fatalf("Parse(%q) = %#x, %v; want negative zero", s, math.Float64bits(got), err)
+		}
+	}
+	for _, s := range []string{"-0", "-0.0", "-0e10"} {
+		got, err := Parse32(s, nil)
+		if err != nil || math.Float32bits(got) != 1<<31 {
+			t.Fatalf("Parse32(%q) = %#x, %v; want negative zero", s, math.Float32bits(got), err)
+		}
+	}
+}
+
 // TestParseRoundTripsFixedNoMarks checks the same property with NoMarks
 // set: insignificant positions print as '0' instead of '#', and the
 // output still parses back bit-identically.

@@ -55,6 +55,17 @@ echo "== /v1/fixed =="
 got="$(curl -fsS "$base/v1/fixed?v=3.14159&n=3")"
 [ "$got" = "3.14" ] || fail "/v1/fixed?v=3.14159&n=3 = $got, want 3.14"
 
+echo "== /v1/parse =="
+got="$(curl -fsS "$base/v1/parse?s=0.3")"
+[ "$got" = "0.3" ] || fail "/v1/parse?s=0.3 = $got, want 0.3"
+# 1e23 is the classic nearest-even tie the fast path cannot certify: it
+# must fall back to the exact reader and still answer correctly.
+got="$(curl -fsS "$base/v1/parse?s=1e23")"
+[ "$got" = "1e23" ] || fail "/v1/parse?s=1e23 = $got, want 1e23"
+# Out-of-range input keeps IEEE semantics: ErrRange maps to +/-Inf.
+got="$(curl -fsS "$base/v1/parse?s=-1e999")"
+[ "$got" = "-Inf" ] || fail "/v1/parse?s=-1e999 = $got, want -Inf"
+
 echo "== request ids: response header ties to the structured access log =="
 req_id="$(curl -fsS -D - -o /dev/null "$base/v1/shortest?v=0.5" \
   | tr -d '\r' | sed -n 's/^X-Request-Id: //pI' | head -n1)"
@@ -85,10 +96,19 @@ batch_values="$(awk '$1 == "floatprint_batch_values_total" { print $2 }' "$workd
 [ "$batch_values" -ge 10000 ] || fail "floatprint_batch_values_total = $batch_values, want >= 10000"
 requests="$(awk '$1 == "fpserved_requests_total" { print $2 }' "$workdir/metrics.txt")"
 [ -n "$requests" ] || fail "fpserved_requests_total missing from /metrics"
-# Five conversion requests so far (three shortest, one fixed, one
-# batch); /healthz, /metrics, and /debug bypass the instrumented chain
-# and are deliberately not counted.
-[ "$requests" -eq 5 ] || fail "fpserved_requests_total = $requests, want 5"
+# Eight conversion requests so far (three shortest, one fixed, three
+# parse, one batch); /healthz, /metrics, and /debug bypass the
+# instrumented chain and are deliberately not counted.
+[ "$requests" -eq 8 ] || fail "fpserved_requests_total = $requests, want 8"
+
+echo "== /metrics: parse path counters =="
+parse_hits="$(awk '$1 == "floatprint_parse_fast_hits_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$parse_hits" ] || fail "floatprint_parse_fast_hits_total missing from /metrics"
+[ "$parse_hits" -ge 1 ] || fail "floatprint_parse_fast_hits_total = $parse_hits, want >= 1"
+parse_exact="$(awk '$1 == "floatprint_parse_exact_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$parse_exact" ] || fail "floatprint_parse_exact_total missing from /metrics"
+# The 1e23 tie and the 1e999 overflow both took the exact reader.
+[ "$parse_exact" -ge 2 ] || fail "floatprint_parse_exact_total = $parse_exact, want >= 2"
 
 echo "== /metrics: conversion-trace telemetry =="
 trace_conv="$(awk '$1 == "floatprint_trace_conversions_total" { print $2 }' "$workdir/metrics.txt")"

@@ -122,6 +122,53 @@ func (s *Server) handleShortest(w http.ResponseWriter, r *http.Request) {
 	writeDigits(w, d, opts)
 }
 
+// handleParse serves GET /v1/parse: reads the s query parameter with
+// the library's own reader — the certified Eisel–Lemire fast path with
+// exact fallback, under the same base/mode options as the print
+// endpoints — and responds with the shortest rendering of the parsed
+// value under those options.  Out-of-range literals keep IEEE
+// semantics: the response is ±Inf's rendering, not an error, matching
+// parseValue's treatment of v elsewhere.  bits=32 parses directly to
+// single precision (one rounding).
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	opts, err := optionsFromQuery(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	in := q.Get("s")
+	if in == "" {
+		http.Error(w, "missing s parameter", http.StatusBadRequest)
+		return
+	}
+	var d floatprint.Digits
+	if q.Get("bits") == "32" {
+		v, perr := floatprint.Parse32(in, opts)
+		if perr != nil && !errors.Is(perr, floatprint.ErrRange) {
+			http.Error(w, perr.Error(), http.StatusBadRequest)
+			return
+		}
+		d, err = floatprint.ShortestDigits32(v, opts)
+	} else {
+		v, perr := floatprint.Parse(in, opts)
+		if perr != nil && !errors.Is(perr, floatprint.ErrRange) {
+			http.Error(w, perr.Error(), http.StatusBadRequest)
+			return
+		}
+		d, err = floatprint.ShortestDigits(v, opts)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeDigits(w, d, opts)
+}
+
 // handleFixed serves GET /v1/fixed: fixed-format rendering at n
 // significant digits (n=...) or at an absolute digit position
 // (pos=...), with '#' marks past the point of significance unless

@@ -11,6 +11,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -79,6 +80,44 @@ func TestShortestEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST shortest = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestParseEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		query, want string
+	}{
+		{"s=0.3", "0.3\n"},
+		{"s=1e23", "1e23\n"},
+		{"s=-2.5", "-2.5\n"},
+		{"s=" + url.QueryEscape("100.000000000000000#####"), "100\n"},
+		{"s=1e23&mode=unknown", "9.999999999999999e22\n"},
+		{"s=ff.8&base=16", "ff.8\n"},
+		{"s=1e999", "+Inf\n"},  // out of range keeps IEEE semantics
+		{"s=-1e999", "-Inf\n"}, //
+		{"s=0.1&bits=32", "0.1\n"},
+		{"s=1234.5&notation=sci", "1.2345e3\n"},
+		{"s=%2Binf", "+Inf\n"},
+		{"s=inf&base=36", "inf\n"}, // base 36: "inf" is a digit string (24171)
+	} {
+		code, body := get(t, ts.URL+"/v1/parse?"+tc.query)
+		if code != http.StatusOK || body != tc.want {
+			t.Errorf("parse?%s = %d %q, want 200 %q", tc.query, code, body, tc.want)
+		}
+	}
+	for _, q := range []string{"", "s=bogus", "s=1..2", "s=1&base=99", "s=1&mode=bogus", "s=ff&base=10"} {
+		if code, _ := get(t, ts.URL+"/v1/parse?"+q); code != http.StatusBadRequest {
+			t.Errorf("parse?%s = %d, want 400", q, code)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/parse", "text/plain", strings.NewReader("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/parse = %d, want 405", resp.StatusCode)
 	}
 }
 

@@ -23,6 +23,10 @@
 // Endpoints:
 //
 //	GET  /v1/shortest?v=0.3[&base=16&mode=unknown&notation=sci&nomarks=1&bits=32]
+//	GET  /v1/parse?s=1.25e-3            read with the library's certified
+//	                                    fast-path reader (same base/mode
+//	                                    options); responds with the value's
+//	                                    shortest rendering
 //	GET  /v1/fixed?v=3.14159&n=3        (or &pos=-2 for absolute position)
 //	POST /v1/batch                      NDJSON lines, or packed little-endian
 //	                                    float64s with Content-Type
@@ -166,6 +170,7 @@ func (s *Server) Handler() http.Handler {
 	// endpoints skip the limiter (and the request metrics, so scraping
 	// does not pollute the request counters it reports).
 	mux.Handle("/v1/shortest", s.limited(http.HandlerFunc(s.handleShortest)))
+	mux.Handle("/v1/parse", s.limited(http.HandlerFunc(s.handleParse)))
 	mux.Handle("/v1/fixed", s.limited(http.HandlerFunc(s.handleFixed)))
 	mux.Handle("/v1/batch", s.limited(http.HandlerFunc(s.handleBatch)))
 	mux.HandleFunc("/healthz", s.handleHealthz)

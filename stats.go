@@ -31,6 +31,16 @@ type Stats struct {
 	BatchValues uint64 // values converted by the batch engine
 	BatchBytes  uint64 // bytes produced by the batch engine
 
+	// Read-side counters (Parse/Parse32).  ParseFastHits and
+	// ParseFastMisses count parses where the Eisel–Lemire fast path was
+	// attempted (base 10, nearest-even reader); ParseExact counts every
+	// run of the exact big-integer reader, including parses where no
+	// fast path applied (other bases, directed rounding modes) and
+	// parses that ended in ErrRange.
+	ParseFastHits   uint64 // parses certified by the fast path
+	ParseFastMisses uint64 // fast path attempted, declined to the reader
+	ParseExact      uint64 // parses decided by the exact reader
+
 	// Conversion-trace aggregates (the algorithm-level telemetry fed by
 	// the tracing subsystem; see Trace).  TraceEstimates and TraceFixups
 	// measure the §3.2 scale estimator on the exact path: the fixup rate
@@ -86,6 +96,10 @@ func (s Stats) Sub(prev Stats) Stats {
 		BatchValues: s.BatchValues - prev.BatchValues,
 		BatchBytes:  s.BatchBytes - prev.BatchBytes,
 
+		ParseFastHits:   s.ParseFastHits - prev.ParseFastHits,
+		ParseFastMisses: s.ParseFastMisses - prev.ParseFastMisses,
+		ParseExact:      s.ParseExact - prev.ParseExact,
+
 		TraceConversions: s.TraceConversions - prev.TraceConversions,
 		TraceEstimates:   s.TraceEstimates - prev.TraceEstimates,
 		TraceFixups:      s.TraceFixups - prev.TraceFixups,
@@ -116,6 +130,8 @@ func (s Stats) String() string {
 	line("exact fixed-format", s.ExactFixed)
 	line("batch values", s.BatchValues)
 	line("batch bytes", s.BatchBytes)
+	rate("parse fast-path", s.ParseFastHits, s.ParseFastMisses)
+	line("exact parses", s.ParseExact)
 	if s.TraceConversions > 0 {
 		line("traced conversions", s.TraceConversions)
 		line("scale estimates", s.TraceEstimates)
@@ -153,6 +169,9 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 		{"floatprint_exact_fixed_total", "Exact fixed-format conversions.", s.ExactFixed},
 		{"floatprint_batch_values_total", "Values converted by the batch engine.", s.BatchValues},
 		{"floatprint_batch_bytes_total", "Bytes produced by the batch engine.", s.BatchBytes},
+		{"floatprint_parse_fast_hits_total", "Parses certified by the Eisel-Lemire fast path.", s.ParseFastHits},
+		{"floatprint_parse_fast_misses_total", "Parses where the fast path declined to the exact reader.", s.ParseFastMisses},
+		{"floatprint_parse_exact_total", "Parses decided by the exact big-integer reader.", s.ParseExact},
 		{"floatprint_trace_conversions_total", "Conversions folded into the trace aggregate.", s.TraceConversions},
 		{"floatprint_trace_estimates_total", "Exact conversions that ran the scale estimator.", s.TraceEstimates},
 		{"floatprint_trace_fixups_total", "Scale estimates one low, corrected by the fixup loop.", s.TraceFixups},
@@ -177,5 +196,9 @@ func fromSnap(s stats.Snapshot) Stats {
 		ExactFixed:  s.ExactFixed,
 		BatchValues: s.BatchValues,
 		BatchBytes:  s.BatchBytes,
+
+		ParseFastHits:   s.ParseFastHits,
+		ParseFastMisses: s.ParseFastMisses,
+		ParseExact:      s.ParseExact,
 	}
 }

@@ -91,6 +91,7 @@ func TestStatsWritePrometheus(t *testing.T) {
 		GayHits: 80, GayMisses: 20,
 		ExactFree: 25, ExactFixed: 30,
 		BatchValues: 1000, BatchBytes: 17500,
+		ParseFastHits: 970, ParseFastMisses: 30, ParseExact: 45,
 		TraceConversions: 1050, TraceEstimates: 55, TraceFixups: 17,
 		TraceIterations: 16000, TraceDigits: 15800, TraceRoundUps: 500,
 	}
@@ -122,6 +123,15 @@ floatprint_batch_values_total 1000
 # HELP floatprint_batch_bytes_total Bytes produced by the batch engine.
 # TYPE floatprint_batch_bytes_total counter
 floatprint_batch_bytes_total 17500
+# HELP floatprint_parse_fast_hits_total Parses certified by the Eisel-Lemire fast path.
+# TYPE floatprint_parse_fast_hits_total counter
+floatprint_parse_fast_hits_total 970
+# HELP floatprint_parse_fast_misses_total Parses where the fast path declined to the exact reader.
+# TYPE floatprint_parse_fast_misses_total counter
+floatprint_parse_fast_misses_total 30
+# HELP floatprint_parse_exact_total Parses decided by the exact big-integer reader.
+# TYPE floatprint_parse_exact_total counter
+floatprint_parse_exact_total 45
 # HELP floatprint_trace_conversions_total Conversions folded into the trace aggregate.
 # TYPE floatprint_trace_conversions_total counter
 floatprint_trace_conversions_total 1050

@@ -29,6 +29,8 @@ const (
 	TraceBackendGay        = trace.BackendGay
 	TraceBackendExactFree  = trace.BackendExactFree
 	TraceBackendExactFixed = trace.BackendExactFixed
+	TraceBackendFastParse  = trace.BackendFastParse
+	TraceBackendExactParse = trace.BackendExactParse
 )
 
 // ShortestDigitsTraced is ShortestDigits recording the conversion's
