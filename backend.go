@@ -1,0 +1,219 @@
+package floatprint
+
+import (
+	"math"
+
+	"floatprint/internal/fpformat"
+	"floatprint/internal/grisu"
+	"floatprint/internal/ryu"
+	"floatprint/internal/stats"
+	"floatprint/internal/trace"
+)
+
+// This file is the shortest-path backend registry: the one place that
+// decides which digit-generation algorithm a free-format conversion
+// attempts first.  Every fast path follows the decline-don't-error
+// contract — a backend either serves a request with output byte-identical
+// to the exact Burger & Dybvig core or declines, and a decline always
+// falls through to the exact core — so the registry affects speed and the
+// path mix, never the answer.
+//
+// Applicability is two-layered.  The static layer below rules a backend
+// out per request shape: every fast path needs base 10, the default
+// scale estimator, and a binary64 value; Ryū additionally carries a
+// proof only under the nearest-even reader, where Grisu3's certification
+// is valid under all four reader modes.  The dynamic layer is the
+// backend's own runtime decline (Grisu3 certification failure, Ryū's
+// exact-halfway ties), which surfaces as ok == false at the call site.
+
+// shortestFastpath returns the fast backend the registry selects for a
+// normalized request, or trace.BackendNone when only the exact core
+// applies.  o must be normalized (o.norm) so Base and Backend are valid.
+func shortestFastpath(o Options, val fpformat.Value) trace.Backend {
+	if val.Fmt != fpformat.Binary64 {
+		return trace.BackendNone
+	}
+	return shortestFastpath64(o)
+}
+
+// shortestFastpath64 is shortestFastpath for a value already known to be
+// binary64 — the allocation-free form the float64 append path uses
+// (decoding the value just to learn its format costs a mantissa
+// allocation).
+func shortestFastpath64(o Options) trace.Backend {
+	if o.Base != 10 || o.Scaling != ScalingEstimate {
+		return trace.BackendNone
+	}
+	switch o.Backend {
+	case BackendAuto:
+		if o.Reader == ReaderNearestEven {
+			return trace.BackendRyu
+		}
+		return trace.BackendGrisu
+	case BackendGrisu:
+		return trace.BackendGrisu
+	case BackendRyu:
+		// Ryū's correctness proof assumes a nearest-even reader; under
+		// the other three modes its output would be wrong-but-plausible,
+		// so the registry routes those to the exact core instead.
+		if o.Reader == ReaderNearestEven {
+			return trace.BackendRyu
+		}
+		return trace.BackendNone
+	default: // BackendExact
+		return trace.BackendNone
+	}
+}
+
+// shortestFastAttempt runs the selected fast backend for positive finite
+// v, bumping the hit/miss telemetry.  fb must be BackendRyu or
+// BackendGrisu.  The digits land in buf as ASCII bytes '0'..'9', which
+// must hold fastBufLen bytes (ryu emits ASCII natively; grisu's digit
+// values are converted here so callers see one contract).
+func shortestFastAttempt(fb trace.Backend, buf []byte, v float64) (n, k int, ok bool) {
+	if fb == trace.BackendRyu {
+		n, k, ok = ryu.ShortestInto(buf, v)
+		if ok {
+			stats.RyuHits.Inc()
+		} else {
+			stats.RyuMisses.Inc()
+		}
+		return n, k, ok
+	}
+	n, k, ok = grisu.ShortestInto(buf, v)
+	if ok {
+		stats.GrisuHits.Inc()
+		for i := 0; i < n; i++ {
+			buf[i] += '0'
+		}
+	} else {
+		stats.GrisuMisses.Inc()
+	}
+	return n, k, ok
+}
+
+// fastBufLen is the digit-buffer size every registered fast backend
+// accepts for its in-place entry point.
+const fastBufLen = 20
+
+// The in-place entry points share one buffer size; if either package ever
+// grows its requirement this stops compiling.
+var _ [fastBufLen - grisu.BufLen]struct{}
+var _ [fastBufLen - ryu.BufLen]struct{}
+
+// AppendShortestWith is AppendShortest under explicit options: it appends
+// the shortest rendering of v to dst using the options' backend, reader
+// assumption, and notation.  Like AppendShortest it performs no heap
+// allocation beyond growing dst when a fast backend serves the value.  It
+// panics on invalid options; use ShortestDigits plus Digits.Append to
+// handle the error instead.
+func AppendShortestWith(dst []byte, v float64, opts *Options) []byte {
+	o, err := opts.norm()
+	if err != nil {
+		panic("floatprint: " + err.Error())
+	}
+	return appendShortestOpts(dst, v, o)
+}
+
+// appendShortestOpts is the shared allocation-free append path under
+// normalized options: specials inline, then the registry's fast backend
+// into a stack buffer, then the exact fallback for everything declined.
+func appendShortestOpts(dst []byte, v float64, o Options) []byte {
+	// Specials, inline: these never reach digit generation.
+	switch {
+	case math.IsNaN(v):
+		return append(dst, "NaN"...)
+	case math.IsInf(v, 1):
+		return append(dst, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(dst, "-Inf"...)
+	case v == 0:
+		if math.Signbit(v) {
+			return append(dst, '-', '0')
+		}
+		return append(dst, '0')
+	}
+	if fb := shortestFastpath64(o); fb != trace.BackendNone {
+		var buf [fastBufLen]byte
+		if n, k, ok := shortestFastAttempt(fb, buf[:], math.Abs(v)); ok {
+			if stats.Enabled() {
+				stats.Traces.RecordFast(fb, n)
+			}
+			return appendFastRender(dst, math.Signbit(v), buf[:], n, k, o)
+		}
+		// The registry's fast attempt declined: run the exact core
+		// directly rather than re-entering through shortestValue, so the
+		// miss above stays counted exactly once.
+		o.Backend = BackendExact
+	}
+	d, err := shortestValue(fpformat.DecodeFloat64(v), o)
+	if err != nil {
+		panic("floatprint: " + err.Error()) // unreachable: options validated
+	}
+	return d.appendRender(dst, o)
+}
+
+// appendFastRender renders a fast-backend result — ASCII digits in
+// buf[:n], all significant, base 10 — without building a Digits value.
+// It is Digits.appendRender specialized to that shape: marks can never
+// apply (NSig == n), the base-36 alphabet degenerates to ASCII decimal,
+// and bulk slice appends replace the per-digit loop.  Output is
+// byte-identical to the general renderer; TestFastRenderMatchesDigits
+// pins that.
+func appendFastRender(dst []byte, neg bool, buf []byte, n, k int, o Options) []byte {
+	if neg {
+		dst = append(dst, '-')
+	}
+	notation := o.Notation
+	if notation == NotationAuto {
+		// Same band as the general renderer; the marked-result clause
+		// there (NSig < len) is unreachable here.
+		if k < -3 || k > 21 {
+			notation = NotationScientific
+		} else {
+			notation = NotationPositional
+		}
+	}
+	if notation == NotationScientific {
+		dst = append(dst, buf[0])
+		if n > 1 {
+			dst = append(dst, '.')
+			dst = append(dst, buf[1:n]...)
+		}
+		dst = append(dst, 'e')
+		// Binary64 exponents span [-324, 308]: at most three digits,
+		// rendered directly (the general renderer's strconv.AppendInt
+		// produces the same bytes, minus the call).
+		e := k - 1
+		if e < 0 {
+			dst = append(dst, '-')
+			e = -e
+		}
+		switch {
+		case e < 10:
+			return append(dst, byte('0'+e))
+		case e < 100:
+			return append(dst, byte('0'+e/10), byte('0'+e%10))
+		default:
+			return append(dst, byte('0'+e/100), byte('0'+e/10%10), byte('0'+e%10))
+		}
+	}
+	switch {
+	case k <= 0:
+		dst = append(dst, '0', '.')
+		for i := 0; i < -k; i++ {
+			dst = append(dst, '0')
+		}
+		return append(dst, buf[:n]...)
+	case k >= n:
+		dst = append(dst, buf[:n]...)
+		for i := n; i < k; i++ {
+			dst = append(dst, '0')
+		}
+		return dst
+	default:
+		dst = append(dst, buf[:k]...)
+		dst = append(dst, '.')
+		return append(dst, buf[k:n]...)
+	}
+}

@@ -1,0 +1,255 @@
+package floatprint
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"floatprint/internal/core"
+	"floatprint/internal/fpformat"
+	"floatprint/internal/ryu"
+	"floatprint/internal/schryer"
+)
+
+// findRyuDecline returns a corpus value the Ryū backend declines (an
+// exact-halfway tie), failing the test if the corpus contains none.
+func findRyuDecline(t *testing.T) float64 {
+	t.Helper()
+	for _, v := range schryer.CorpusN(schryer.CorpusSize) {
+		if _, _, ok := ryu.Shortest(v); !ok {
+			return v
+		}
+	}
+	t.Fatal("no ryu tie decline in the Schryer corpus")
+	return 0
+}
+
+var backendList = []Backend{BackendAuto, BackendGrisu, BackendRyu, BackendExact}
+
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Backend
+	}{
+		{"", BackendAuto}, {"auto", BackendAuto}, {"grisu", BackendGrisu},
+		{"ryu", BackendRyu}, {"exact", BackendExact},
+	} {
+		got, err := ParseBackend(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() == "" {
+			t.Errorf("Backend(%v).String() empty", got)
+		}
+	}
+	if _, err := ParseBackend("dragon4"); err == nil {
+		t.Error("ParseBackend(dragon4) succeeded, want error")
+	}
+	if _, err := ShortestDigits(1.5, &Options{Backend: Backend(99)}); err == nil {
+		t.Error("out-of-range Options.Backend accepted")
+	}
+}
+
+// TestBackendsByteIdentical is the registry's core contract: every
+// backend selection yields byte-identical Digits for the same value, on
+// random values and on the values Ryū declines.
+func TestBackendsByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, 0, 2064)
+	for i := 0; i < 2000; i++ {
+		values = append(values, randomFinite(rng))
+	}
+	values = append(values, findRyuDecline(t), 0.3, math.Pi, 1e23, 5e-324,
+		math.MaxFloat64, 0x1p-1022)
+	for _, v := range values {
+		ref, err := ShortestDigits(v, &Options{Backend: BackendExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range backendList {
+			d, err := ShortestDigits(v, &Options{Backend: b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(d.Digits, ref.Digits) || d.K != ref.K || d.NSig != ref.NSig {
+				t.Fatalf("backend %v for %g [%x]: %v ×10^%d, exact %v ×10^%d",
+					b, v, math.Float64bits(v), d.Digits, d.K, ref.Digits, ref.K)
+			}
+			if got, want := string(AppendShortestWith(nil, v, &Options{Backend: b})), ref.String(); got != want {
+				t.Fatalf("AppendShortestWith(%v, %g) = %q, want %q", b, v, got, want)
+			}
+		}
+	}
+}
+
+// TestBackendsAllReaderModes is the satellite-3 mode guard: under every
+// reader mode × backend selection the output must equal the exact core's
+// for that mode.  Ryū only carries a proof for nearest-even, so the
+// registry must route the other three modes to the exact core (for
+// BackendRyu) or Grisu3 (for BackendAuto) — never through Ryū.
+func TestBackendsAllReaderModes(t *testing.T) {
+	modes := []ReaderRounding{
+		ReaderNearestEven, ReaderUnknown, ReaderNearestAway, ReaderNearestTowardZero,
+	}
+	rng := rand.New(rand.NewSource(8))
+	values := make([]float64, 0, 516)
+	for i := 0; i < 500; i++ {
+		values = append(values, randomFinite(rng))
+	}
+	values = append(values, findRyuDecline(t), 0.3, 1e23, 5e-324)
+	for _, v := range values {
+		val := fpformat.DecodeFloat64(v)
+		for _, mode := range modes {
+			exact, err := core.FreeFormat(val, 10, core.ScalingEstimate,
+				Options{Reader: mode}.Reader.core())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range backendList {
+				d, err := ShortestDigits(v, &Options{Reader: mode, Backend: b})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(d.Digits, exact.Digits) || d.K != exact.K {
+					t.Fatalf("backend %v, mode %v, %g [%x]: %v ×10^%d, exact %v ×10^%d",
+						b, mode, v, math.Float64bits(v), d.Digits, d.K, exact.Digits, exact.K)
+				}
+			}
+		}
+	}
+}
+
+// TestRyuDeclinesNonNearestEven pins the static dispatch decision: an
+// explicit BackendRyu request under a non-nearest-even reader must route
+// to the exact core (no fast-path counters move), and under nearest-even
+// it must serve on Ryū.
+func TestRyuDeclinesNonNearestEven(t *testing.T) {
+	ResetStats()
+	prev := SetStatsEnabled(true)
+	defer SetStatsEnabled(prev)
+
+	for _, mode := range []ReaderRounding{ReaderUnknown, ReaderNearestAway, ReaderNearestTowardZero} {
+		ResetStats()
+		if _, err := ShortestDigits(0.3, &Options{Reader: mode, Backend: BackendRyu}); err != nil {
+			t.Fatal(err)
+		}
+		s := Snapshot()
+		if s.RyuHits != 0 || s.RyuMisses != 0 || s.GrisuHits != 0 || s.ExactFree != 1 {
+			t.Errorf("mode %v: %+v, want exact only", mode, s)
+		}
+	}
+	ResetStats()
+	if _, err := ShortestDigits(0.3, &Options{Backend: BackendRyu}); err != nil {
+		t.Fatal(err)
+	}
+	if s := Snapshot(); s.RyuHits != 1 || s.ExactFree != 0 {
+		t.Errorf("nearest-even: %+v, want 1 ryu hit", s)
+	}
+}
+
+// TestRyuVsExactCorpus is the acceptance-criteria differential: over the
+// full 250,680-value Schryer corpus, every value Ryū serves must be
+// byte-identical to the exact Burger & Dybvig core, and the decline rate
+// must stay a rounding error.
+func TestRyuVsExactCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus differential in -short mode")
+	}
+	corpus := schryer.CorpusN(schryer.CorpusSize)
+	if len(corpus) != schryer.CorpusSize {
+		t.Fatalf("corpus size %d, want %d", len(corpus), schryer.CorpusSize)
+	}
+	declines := 0
+	for _, v := range corpus {
+		digits, k, ok := ryu.Shortest(v)
+		if !ok {
+			declines++
+			continue
+		}
+		exact, err := core.FreeFormat(fpformat.DecodeFloat64(v), 10,
+			core.ScalingEstimate, core.ReaderNearestEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(digits, exact.Digits) || k != exact.K {
+			t.Fatalf("ryu(%g [%x]) = %v ×10^%d, exact %v ×10^%d",
+				v, math.Float64bits(v), digits, k, exact.Digits, exact.K)
+		}
+	}
+	rate := float64(declines) / float64(len(corpus))
+	t.Logf("ryu declines: %d of %d (%.4f%%)", declines, len(corpus), 100*rate)
+	if rate > 0.001 {
+		t.Errorf("decline rate %.4f%% implausibly high", 100*rate)
+	}
+}
+
+// TestRyuSubnormalFrontier pins the subnormal boundary region where the
+// decode branches (ieeeExponent == 0, the mmShift special case) change:
+// the smallest subnormal, the largest subnormal, the smallest normal, and
+// a walk across the frontier, each against the exact core.
+func TestRyuSubnormalFrontier(t *testing.T) {
+	var values []float64
+	for delta := -50; delta <= 50; delta++ {
+		bits := uint64(1)<<52 + uint64(delta) // around the smallest normal
+		values = append(values, math.Float64frombits(bits))
+	}
+	values = append(values, 5e-324, math.Float64frombits(1<<52-1), 0x1p-1022)
+	for _, v := range values {
+		ref, err := ShortestDigits(v, &Options{Backend: BackendExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ShortestDigits(v, &Options{Backend: BackendRyu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Digits, ref.Digits) || got.K != ref.K {
+			t.Fatalf("subnormal frontier %x: ryu %v ×10^%d, exact %v ×10^%d",
+				math.Float64bits(v), got.Digits, got.K, ref.Digits, ref.K)
+		}
+	}
+}
+
+// TestBackendSelectionConcurrent is the -race twin for the registry: many
+// goroutines converting through different backend selections and reader
+// modes concurrently, with telemetry enabled, must agree with the exact
+// core and trip no data races.
+func TestBackendSelectionConcurrent(t *testing.T) {
+	prev := SetStatsEnabled(true)
+	defer SetStatsEnabled(prev)
+
+	corpus := schryer.CorpusN(2000)
+	tie := findRyuDecline(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			opts := &Options{
+				Backend: backendList[w%len(backendList)],
+			}
+			if w >= 4 {
+				opts.Reader = ReaderNearestAway
+			}
+			buf := make([]byte, 0, 64)
+			for i, v := range corpus {
+				if i%97 == 0 {
+					v = tie
+				}
+				buf = AppendShortestWith(buf[:0], v, opts)
+				d, err := ShortestDigits(v, opts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(buf) != d.String() {
+					t.Errorf("append/digits mismatch for %g under %+v", v, *opts)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

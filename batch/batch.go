@@ -43,6 +43,12 @@ type Config struct {
 	// (e.g. []byte{'\n'} for line-oriented output).  Convert never
 	// inserts separators: its packed buffer is delimited by offsets.
 	Sep []byte
+	// Backend selects the shortest-digit backend every shard uses
+	// (floatprint.BackendAuto, the zero value, picks the fastest
+	// applicable fast path per value).  The packed output is
+	// byte-identical for every choice; only the path mix and the
+	// throughput change.
+	Backend floatprint.Backend
 }
 
 // Pool is a reusable batch-conversion engine.  A Pool carries no
@@ -52,6 +58,9 @@ type Pool struct {
 	shards int
 	chunk  int
 	sep    []byte
+	// opts is non-nil only for a non-default backend selection, so the
+	// default path stays on the argument-free AppendShortest fast call.
+	opts *floatprint.Options
 }
 
 // New builds a Pool from cfg, applying defaults.
@@ -64,7 +73,21 @@ func New(cfg Config) *Pool {
 	if chunk <= 0 {
 		chunk = 4096
 	}
-	return &Pool{shards: shards, chunk: chunk, sep: cfg.Sep}
+	p := &Pool{shards: shards, chunk: chunk, sep: cfg.Sep}
+	if cfg.Backend != floatprint.BackendAuto {
+		p.opts = &floatprint.Options{Backend: cfg.Backend}
+	}
+	return p
+}
+
+// appendShortest is the per-value conversion every shard runs: the plain
+// fast call under the default backend, the options-carrying variant when
+// the pool pins one.
+func (p *Pool) appendShortest(dst []byte, v float64) []byte {
+	if p.opts == nil {
+		return floatprint.AppendShortest(dst, v)
+	}
+	return floatprint.AppendShortestWith(dst, v, p.opts)
 }
 
 // Shards returns the pool's effective worker count.
@@ -115,7 +138,7 @@ func (p *Pool) Convert(ctx context.Context, values []float64) (*floatprint.Batch
 					outs[s].err = ctx.Err()
 					return
 				}
-				buf = floatprint.AppendShortest(buf, values[i])
+				buf = p.appendShortest(buf, values[i])
 				ends = append(ends, len(buf))
 			}
 			outs[s].buf, outs[s].ends = buf, ends
@@ -190,7 +213,7 @@ func (p *Pool) WriteAll(ctx context.Context, values []float64, w io.Writer) (int
 		lo := ci * p.chunk
 		hi := min(lo+p.chunk, n)
 		for i := lo; i < hi; i++ {
-			buf = floatprint.AppendShortest(buf, values[i])
+			buf = p.appendShortest(buf, values[i])
 			buf = append(buf, p.sep...)
 		}
 		return buf

@@ -357,7 +357,7 @@ func TestBatchTelemetry(t *testing.T) {
 	if d.BatchBytes != uint64(len(res.Buf)) {
 		t.Fatalf("BatchBytes = %d, want %d", d.BatchBytes, len(res.Buf))
 	}
-	if d.GrisuHits+d.GrisuMisses < uint64(len(values)) {
+	if d.GrisuHits+d.GrisuMisses+d.RyuHits+d.RyuMisses < uint64(len(values)) {
 		t.Fatalf("path telemetry below corpus size: %+v", d)
 	}
 }

@@ -10,6 +10,9 @@
 //	fpbench -batch       batch-engine corpus throughput, 1 shard vs NumCPU
 //	fpbench -parse       read side: fast-path Parse vs the exact reader,
 //	                     with byte-identity verification and fallback rate
+//	fpbench -shootout    backend head-to-head: grisu vs ryu vs exact vs
+//	                     strconv over the corpus, with decline rates and
+//	                     byte-identity verification
 //	fpbench -all         everything
 //	fpbench -n 50000     corpus size (default: the paper's full 250,680)
 //	fpbench -json out    also write results as a BENCH_*.json artifact
@@ -46,12 +49,13 @@ func main() {
 	parallel := flag.Bool("parallel", false, "concurrent shortest-conversion scaling")
 	batchF := flag.Bool("batch", false, "batch-engine corpus throughput (1 shard vs NumCPU)")
 	parseF := flag.Bool("parse", false, "fast-path Parse vs exact reader, with fallback rate")
+	shootout := flag.Bool("shootout", false, "backend head-to-head: grisu vs ryu vs exact vs strconv")
 	all := flag.Bool("all", false, "run every experiment")
 	n := flag.Int("n", schryer.CorpusSize, "corpus size (max 250680)")
 	jsonOut := flag.String("json", "", "write results as a BENCH JSON artifact to this path (\"-\" for stdout)")
 	flag.Parse()
 
-	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel && !*batchF && !*parseF {
+	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel && !*batchF && !*parseF && !*shootout {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -95,6 +99,11 @@ func main() {
 	}
 	if *all || *parseF {
 		if err := runParse(corpus, art); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *shootout {
+		if err := runShootout(corpus, art); err != nil {
 			fatal(err)
 		}
 	}
@@ -318,6 +327,29 @@ func runSuccessors(corpus []float64, art *harness.Artifact) error {
 	return nil
 }
 
+// shootoutPasses is the timed-pass count per contender: enough samples
+// for a stable median without making -all crawl.
+const shootoutPasses = 5
+
+func runShootout(corpus []float64, art *harness.Artifact) error {
+	fmt.Println("== Backend shootout: grisu vs ryu vs exact vs strconv ==")
+	fmt.Println("(Gareau-Lemire style head-to-head on the production append path)")
+	rows, err := harness.RunShootout(corpus, shootoutPasses)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderShootout(rows, len(corpus), shootoutPasses))
+	for _, r := range rows {
+		if art == nil {
+			continue
+		}
+		art.Append("Shootout/"+slug(r.Name), r.NsPerOp,
+			map[string][]float64{"decline_rate": {r.Rate}})
+	}
+	fmt.Println()
+	return nil
+}
+
 func runTable2(corpus []float64, art *harness.Artifact) error {
 	fmt.Println("== Table 2: scaling algorithm relative CPU time ==")
 	fmt.Println("(paper, DEC AXP 8420: iterative 145.2x, float-log 1.2x, estimate 1.0x)")
@@ -370,6 +402,14 @@ func runStats(corpus []float64) error {
 	for _, v := range corpus {
 		buf = floatprint.AppendShortest(buf[:0], v)
 	}
+	// Per-backend decline rates: drive the registered fast backends
+	// explicitly so the snapshot shows each one's hit/miss mix (the
+	// default AppendShortest loop above only exercises the auto
+	// selection, Ryū on this corpus).
+	grisuOpts := &floatprint.Options{Backend: floatprint.BackendGrisu}
+	for _, v := range corpus {
+		buf = floatprint.AppendShortestWith(buf[:0], v, grisuOpts)
+	}
 	// 15 digits keeps Gay's heuristic in its intended regime ("when the
 	// requested number of digits is small"); at 16-17 the accumulated
 	// extended-float error always spans a boundary and every value falls
@@ -387,7 +427,7 @@ func runStats(corpus []float64) error {
 	}
 	delta := floatprint.Snapshot().Sub(before)
 	floatprint.SetStatsEnabled(prev)
-	fmt.Printf("shortest over %d values, fixed(15) over %d values, Parse over %d shortest strings:\n",
+	fmt.Printf("shortest over %d values (auto backend, then grisu), fixed(15) over %d values, Parse over %d shortest strings:\n",
 		len(corpus), min(len(corpus), 20000), parseN)
 	fmt.Print(delta.String())
 	fmt.Println()

@@ -124,20 +124,26 @@ func checkValue(v float64, checkBasic bool) {
 	}
 	exactStr := render(exact.Digits, exact.K)
 
-	// strconv (Ryū inside Go) vs our Ryū: bit-identical.
-	rd, rk := ryu.Shortest(v)
-	ryuStr := render(rd, rk)
-	scDigits, scK := strconvShortest(v)
-	if ryuStr != render(scDigits, scK) {
-		report("ryu vs strconv", v, ryuStr)
-	}
-
-	// Exact Burger-Dybvig vs strconv: equal up to tie rule.
-	if exactStr != ryuStr {
-		if len(exact.Digits) == len(rd) && roundTrips(exactStr, v) && roundTrips(ryuStr, v) {
-			ties++
-		} else {
+	// strconv (Ryū inside Go) vs our Ryū: bit-identical when served.  A
+	// decline is an exact-halfway tie ceded to the exact core; both
+	// renderings must still round-trip.
+	if rd, rk, ok := ryu.Shortest(v); ok {
+		ryuStr := render(rd, rk)
+		scDigits, scK := strconvShortest(v)
+		if ryuStr != render(scDigits, scK) {
+			report("ryu vs strconv", v, ryuStr)
+		}
+		// Served results must equal the exact Burger-Dybvig output byte
+		// for byte: the tie cases are exactly the declines.
+		if exactStr != ryuStr {
 			report("exact vs ryu", v, exactStr+" / "+ryuStr)
+		}
+	} else {
+		ties++
+		scDigits, scK := strconvShortest(v)
+		scStr := render(scDigits, scK)
+		if !roundTrips(exactStr, v) || !roundTrips(scStr, v) {
+			report("tie decline round-trip", v, exactStr+" / "+scStr)
 		}
 	}
 

@@ -68,7 +68,12 @@ func ShortestDigits32(v float32, opts *Options) (Digits, error) {
 	if d, done := specialDigits(val, o.Base); done {
 		return d, nil
 	}
-	if o.Base == 10 && o.Scaling == ScalingEstimate {
+	// Ryū here is float64-only, so the float32 fast path is Grisu3 under
+	// BackendAuto or BackendGrisu; an explicit BackendRyu or BackendExact
+	// request routes to the exact core (decline-don't-error: a backend
+	// that cannot serve the format falls through, it never approximates).
+	if o.Base == 10 && o.Scaling == ScalingEstimate &&
+		(o.Backend == BackendAuto || o.Backend == BackendGrisu) {
 		if digits, k, ok := grisu.Shortest32(float32(math.Abs(float64(v)))); ok {
 			stats.GrisuHits.Inc()
 			if stats.Enabled() {
@@ -106,32 +111,37 @@ func shortestValueTraced(val fpformat.Value, o Options, tr *Trace) (Digits, erro
 		traceSpecial(tr, o.Base)
 		return d, nil
 	}
-	// Grisu3 fast path (the follow-on work to the paper; see
-	// internal/grisu): a certified result is provably identical to the
-	// exact algorithm's output under every reader mode, so it applies
-	// whenever the default scaling is in effect.  ~0.5% of values fail
-	// certification and take the exact path below.
+	// Fast-path dispatch through the backend registry (see backend.go):
+	// Ryū for base-10 nearest-even binary64 requests, certified Grisu3
+	// for the other reader modes (its certificate is valid under all
+	// four), honoring an explicit Options.Backend selection.  Both follow
+	// the decline-don't-error contract — the rare declines (Ryū's
+	// exact-halfway ties, ~0.5% Grisu3 certification failures) take the
+	// exact path below, so the output never depends on the backend.
 	fastMiss := false
-	if o.Base == 10 && val.Fmt == fpformat.Binary64 && o.Scaling == ScalingEstimate {
+	if fb := shortestFastpath(o, val); fb != TraceBackendNone {
 		if v, verr := abs(val).Float64(); verr == nil {
-			if digits, k, ok := grisu.Shortest(v); ok {
-				stats.GrisuHits.Inc()
+			var buf [fastBufLen]byte
+			if n, k, ok := shortestFastAttempt(fb, buf[:], v); ok {
+				digits := make([]byte, n)
+				for i := 0; i < n; i++ {
+					digits[i] = buf[i] - '0' // ASCII back to digit values
+				}
 				if tr != nil {
 					tr.Reset()
-					tr.Backend = TraceBackendGrisu
+					tr.Backend = fb
 					tr.Base = 10
 					tr.Mode = o.Reader.String()
-					tr.Iterations = len(digits)
+					tr.Iterations = n
 					tr.K = k
-					tr.Digits = len(digits)
-					tr.NSig = len(digits)
+					tr.Digits = n
+					tr.NSig = n
 				}
 				return Digits{
 					Class: Finite, Neg: val.Neg,
-					Digits: digits, K: k, NSig: len(digits), Base: 10,
+					Digits: digits, K: k, NSig: n, Base: 10,
 				}, nil
 			}
-			stats.GrisuMisses.Inc()
 			fastMiss = true
 		}
 	}
@@ -346,43 +356,14 @@ func Shortest32(v float32) string {
 }
 
 // AppendShortest appends the Shortest rendering of v to dst and returns
-// the extended slice.  On the certified Grisu3 fast path (~99.5% of
-// values) it performs no heap allocation beyond growing dst: the digits
-// are generated into a stack buffer and rendered directly into dst, so a
-// caller that reuses dst serializes floats with zero allocations per call.
+// the extended slice.  On the fast path (Ryū, serving all but a handful
+// of exact-halfway ties) it performs no heap allocation beyond growing
+// dst: the digits are generated into a stack buffer and rendered directly
+// into dst, so a caller that reuses dst serializes floats with zero
+// allocations per call.  Use AppendShortestWith to select a backend or
+// rendering options explicitly.
 func AppendShortest(dst []byte, v float64) []byte {
-	// Specials, inline: these never reach digit generation.
-	switch {
-	case math.IsNaN(v):
-		return append(dst, "NaN"...)
-	case math.IsInf(v, 1):
-		return append(dst, "+Inf"...)
-	case math.IsInf(v, -1):
-		return append(dst, "-Inf"...)
-	case v == 0:
-		if math.Signbit(v) {
-			return append(dst, '-', '0')
-		}
-		return append(dst, '0')
-	}
-	var buf [grisu.BufLen]byte
-	if n, k, ok := grisu.ShortestInto(buf[:], math.Abs(v)); ok {
-		stats.GrisuHits.Inc()
-		if stats.Enabled() {
-			stats.Traces.RecordFast(TraceBackendGrisu, n)
-		}
-		d := Digits{
-			Class: Finite, Neg: math.Signbit(v),
-			Digits: buf[:n], K: k, NSig: n, Base: 10,
-		}
-		return d.appendRender(dst, defaultOptions())
-	}
-	// Exact fallback for the rare uncertified values.
-	d, err := ShortestDigits(v, nil)
-	if err != nil {
-		panic("floatprint: " + err.Error()) // unreachable with default options
-	}
-	return d.appendRender(dst, defaultOptions())
+	return appendShortestOpts(dst, v, defaultOptions())
 }
 
 // Fixed returns v correctly rounded to n significant digits in base 10,

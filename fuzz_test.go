@@ -17,6 +17,7 @@ import (
 
 	"floatprint/internal/core"
 	"floatprint/internal/fpformat"
+	"floatprint/internal/ryu"
 )
 
 // fuzzSeeds is one representative per fpfuzz generator class, as raw
@@ -86,6 +87,54 @@ func FuzzShortestRoundTrip(f *testing.F) {
 		if err != nil || math.Float64bits(ours) != math.Float64bits(v) {
 			t.Fatalf("parse agreement: v=%x strconv prints %q, our Parse reads %g err=%v",
 				bits, want, ours, err)
+		}
+	})
+}
+
+// FuzzRyuVsStrconv differences the ryu backend against strconv's own
+// Ryū implementation on every value the kernel serves: the digits and
+// exponent must match strconv's shortest scientific form exactly.  On a
+// decline the exact-core fallback must still round-trip — exact-halfway
+// ties are precisely where the round-up core may legitimately render
+// different digits than strconv's round-to-even, so byte comparison
+// would be wrong there and round-trip identity is the real invariant.
+func FuzzRyuVsStrconv(f *testing.F) {
+	for _, bits := range fuzzSeeds {
+		f.Add(bits)
+	}
+	// One exact-halfway decline representative so the fallback arm is
+	// seeded too: 2.9802322387695312e-08 (2^-25) is a genuine tie where
+	// round-to-even keeps ...12 but the exact core rounds up to ...13.
+	f.Add(uint64(0x3e60000000000000))
+	f.Fuzz(func(t *testing.T, bits uint64) {
+		v := math.Abs(math.Float64frombits(bits))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			t.Skip()
+		}
+		var buf [ryu.BufLen]byte
+		n, k, ok := ryu.ShortestInto(buf[:], v)
+		if !ok {
+			out := AppendShortest(nil, v)
+			back, err := strconv.ParseFloat(string(out), 64)
+			if err != nil || math.Float64bits(back) != math.Float64bits(v) {
+				t.Fatalf("decline fallback: v=%x rendered %q, read back %g, err=%v",
+					bits, out, back, err)
+			}
+			return
+		}
+		want := strconv.FormatFloat(v, 'e', -1, 64)
+		mant, expPart, found := strings.Cut(want, "e")
+		if !found {
+			t.Fatalf("strconv %q has no exponent", want)
+		}
+		mant = strings.ReplaceAll(mant, ".", "")
+		e, err := strconv.Atoi(expPart)
+		if err != nil {
+			t.Fatalf("strconv %q exponent: %v", want, err)
+		}
+		if got := string(buf[:n]); got != mant || k != e+1 {
+			t.Fatalf("ryu vs strconv: v=%x ryu %q K=%d, strconv %q (digits %q K=%d)",
+				bits, got, k, want, mant, e+1)
 		}
 	})
 }

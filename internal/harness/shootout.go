@@ -1,0 +1,157 @@
+// The backend shootout: a head-to-head of every registered shortest-path
+// backend plus Go's strconv over the same corpus, in the style of Gareau
+// & Lemire's experimental review of shortest-decimal converters.  Each
+// contender runs the same append-style loop the serving and batch layers
+// use, so the numbers measure the production path, not a stripped kernel.
+
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"floatprint"
+)
+
+// ShootoutRow is one contender's measurement: per-pass ns/op samples
+// (medianable by the bench-JSON schema), the decline mix of its fast
+// path, and whether its output was verified byte-identical to the exact
+// core.
+type ShootoutRow struct {
+	Name     string
+	NsPerOp  []float64 // one sample per timed pass
+	Median   float64
+	Declines uint64  // fast-path declines over one pass (exact fallbacks)
+	Rate     float64 // Declines / corpus size
+	Verified bool    // byte-identical to the exact backend over the corpus
+}
+
+// shootoutContender is one row's driver: a per-value append loop plus
+// the snapshot field that counts its declines.
+type shootoutContender struct {
+	name     string
+	opts     *floatprint.Options // nil for the strconv reference
+	declines func(floatprint.Stats) uint64
+}
+
+// RunShootout measures every backend over the corpus with `passes` timed
+// passes each (after one warm-up), plus a non-timed telemetry pass for
+// decline rates and a verification pass pinning byte-identity of the
+// floatprint rows against the exact backend.  The strconv row is Go's
+// own Ryū via AppendFloat, the natural external reference.
+func RunShootout(corpus []float64, passes int) ([]ShootoutRow, error) {
+	if passes <= 0 {
+		passes = 5
+	}
+	contenders := []shootoutContender{
+		{"grisu", &floatprint.Options{Backend: floatprint.BackendGrisu},
+			func(s floatprint.Stats) uint64 { return s.GrisuMisses }},
+		{"ryu", &floatprint.Options{Backend: floatprint.BackendRyu},
+			func(s floatprint.Stats) uint64 { return s.RyuMisses }},
+		{"exact", &floatprint.Options{Backend: floatprint.BackendExact},
+			func(floatprint.Stats) uint64 { return 0 }},
+		{"strconv", nil, func(floatprint.Stats) uint64 { return 0 }},
+	}
+
+	// Exact reference output for verification, rendered once.
+	exactOpts := &floatprint.Options{Backend: floatprint.BackendExact}
+	ref := make([][]byte, len(corpus))
+	for i, v := range corpus {
+		ref[i] = floatprint.AppendShortestWith(nil, v, exactOpts)
+	}
+
+	rows := make([]ShootoutRow, len(contenders))
+	buf := make([]byte, 0, 64)
+	runs := make([]func([]byte, float64) []byte, len(contenders))
+	for ci, c := range contenders {
+		rows[ci] = ShootoutRow{Name: c.name}
+		opts := c.opts
+		if opts == nil {
+			runs[ci] = func(dst []byte, v float64) []byte {
+				return strconv.AppendFloat(dst, v, 'g', -1, 64)
+			}
+		} else {
+			runs[ci] = func(dst []byte, v float64) []byte {
+				return floatprint.AppendShortestWith(dst, v, opts)
+			}
+		}
+
+		// Verification pass (floatprint rows only: strconv's 'g'
+		// rendering differs in shape, not digits, so it is not compared
+		// byte-for-byte here — the differential tests own that).
+		if c.opts != nil {
+			rows[ci].Verified = true
+			for i, v := range corpus {
+				buf = runs[ci](buf[:0], v)
+				if string(buf) != string(ref[i]) {
+					return nil, fmt.Errorf("shootout: backend %s diverges from exact for %g: %q vs %q",
+						c.name, v, buf, ref[i])
+				}
+			}
+		}
+
+		// Telemetry pass: decline mix with collection enabled.
+		prev := floatprint.SetStatsEnabled(true)
+		before := floatprint.Snapshot()
+		for _, v := range corpus {
+			buf = runs[ci](buf[:0], v)
+		}
+		rows[ci].Declines = c.declines(floatprint.Snapshot().Sub(before))
+		floatprint.SetStatsEnabled(prev)
+		rows[ci].Rate = float64(rows[ci].Declines) / float64(len(corpus))
+
+		// Warm-up with collection off (also primes caches before timing).
+		for _, v := range corpus {
+			buf = runs[ci](buf[:0], v)
+		}
+	}
+
+	// Timed passes, interleaved round-robin so slow machine-level drift
+	// (frequency scaling, a noisy CI neighbor) lands on every contender
+	// alike instead of biasing whichever ran last; a per-contender block
+	// design can easily swing a head-to-head by 20% on shared runners.
+	for p := 0; p < passes; p++ {
+		for ci := range contenders {
+			start := time.Now()
+			for _, v := range corpus {
+				buf = runs[ci](buf[:0], v)
+			}
+			elapsed := time.Since(start)
+			rows[ci].NsPerOp = append(rows[ci].NsPerOp, float64(elapsed.Nanoseconds())/float64(len(corpus)))
+		}
+	}
+	for ci := range rows {
+		rows[ci].Median = median(rows[ci].NsPerOp)
+	}
+	return rows, nil
+}
+
+// RenderShootout renders the head-to-head as a table with each row's
+// median ns/op, speed relative to the exact core, and decline rate.
+func RenderShootout(rows []ShootoutRow, corpusSize, passes int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "backend shootout: %d values, best-of-%d medians (AppendShortest path)\n",
+		corpusSize, passes)
+	var exact float64
+	for _, r := range rows {
+		if r.Name == "exact" {
+			exact = r.Median
+		}
+	}
+	fmt.Fprintf(&sb, "  %-10s %12s %10s %12s %10s\n", "backend", "ns/op", "vs exact", "declines", "verified")
+	for _, r := range rows {
+		rel := "-"
+		if exact > 0 {
+			rel = fmt.Sprintf("%.2fx", exact/r.Median)
+		}
+		verified := "-"
+		if r.Verified {
+			verified = "yes"
+		}
+		fmt.Fprintf(&sb, "  %-10s %12.1f %10s %7d (%.4f%%) %7s\n",
+			r.Name, r.Median, rel, r.Declines, 100*r.Rate, verified)
+	}
+	return sb.String()
+}

@@ -7,9 +7,18 @@
 // the powers of five so that the three scaled values (the number and its
 // rounding-range boundaries) come out of a single 64×128-bit
 // multiplication each, exactly; the shortest digits then fall out of a
-// small division loop with explicit trailing-zero bookkeeping.  It is
-// total (no fallback needed) and assumes the IEEE round-to-nearest-even
-// reader, i.e. the paper's ReaderNearestEven mode.
+// small division loop with explicit trailing-zero bookkeeping.  It
+// assumes the IEEE round-to-nearest-even reader, i.e. the paper's
+// ReaderNearestEven mode — under any other reader assumption its output
+// would be wrong-but-plausible, so dispatch layers must guard the mode.
+//
+// Like the other fast paths in this repository (grisu, fastparse), the
+// entry points follow the decline-don't-error contract: out-of-domain
+// inputs (v <= 0, Inf, NaN) and the rare exact-halfway values where Ryū's
+// round-to-even tie policy would diverge from the exact Burger & Dybvig
+// core's round-up policy return ok == false, and the caller falls back to
+// the exact algorithm.  A result with ok == true is byte-identical to the
+// exact core's nearest-even free-format output.
 //
 // The power tables are generated at package init with this repository's
 // own bignat arithmetic rather than embedded as literals, and every value
@@ -121,12 +130,42 @@ func multipleOfPowerOf2(value uint64, p int) bool {
 	return bits.TrailingZeros64(value) >= p
 }
 
+// BufLen is the smallest digit buffer ShortestInto accepts: the digit
+// loop emits at most 17 significant decimal digits for a binary64 value,
+// with slack for the pre-trim intermediate.
+const BufLen = 20
+
 // Shortest converts a positive finite v to its shortest decimal form under
 // a round-to-nearest-even reader, returning digit values and K with
-// V = 0.d₁…dₙ × 10ᴷ.
-func Shortest(v float64) (digits []byte, k int) {
-	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
-		return nil, 0
+// V = 0.d₁…dₙ × 10ᴷ.  ok is false when the input is out of domain
+// (v <= 0, Inf, NaN) or the value is an exact halfway case where Ryū's
+// tie policy diverges from the exact core's; callers must treat a decline
+// as fall-through to the exact algorithm, never as a result.
+func Shortest(v float64) (digits []byte, k int, ok bool) {
+	var buf [BufLen]byte
+	n, k, ok := ShortestInto(buf[:], v)
+	if !ok {
+		return nil, 0, false
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = buf[i] - '0' // digit values, not ASCII
+	}
+	return out, k, true
+}
+
+// ShortestInto is Shortest writing the digits into buf — as ASCII bytes
+// '0'..'9', ready to print — which must hold at least BufLen bytes.  It
+// performs no heap allocation, which makes it the substrate for the
+// public package's zero-allocation append path (and ASCII is what that
+// path wants: the bytes go to output verbatim, so emitting them printable
+// here saves a conversion pass per call).
+func ShortestInto(buf []byte, v float64) (n, k int, ok bool) {
+	// The guard condenses the domain check: !(v > 0) rejects zero,
+	// negatives, and NaN in one compare, and the only positive
+	// non-finite left is +Inf.
+	if len(buf) < BufLen || !(v > 0) || v > math.MaxFloat64 {
+		return 0, 0, false
 	}
 	b := math.Float64bits(v)
 	ieeeMantissa := b & (1<<mantBits - 1)
@@ -227,8 +266,17 @@ func Shortest(v float64) (digits []byte, k int) {
 				removed++
 			}
 		}
-		if vrIsTrailingZeros && lastRemovedDigit == 5 && vr%2 == 0 {
-			lastRemovedDigit = 4 // exact halfway: round the digits to even
+		if vrIsTrailingZeros && lastRemovedDigit == 5 && vr%2 == 0 &&
+			(vr != vm || (acceptBounds && vmIsTrailingZeros)) {
+			// Exact halfway with an even candidate that is admissible
+			// output: Ryū would round the digits to even (keep vr) but the
+			// exact Burger & Dybvig core rounds ties up, so the two outputs
+			// diverge here — and only here.  Decline and let the exact
+			// algorithm decide.  (An odd candidate rounds up under both
+			// policies, and when vr equals an inadmissible lower bound the
+			// forced increment below settles the digit the same way for
+			// both, so those cases are served normally.)
+			return 0, 0, false
 		}
 		out = vr
 		if (vr == vm && (!acceptBounds || !vmIsTrailingZeros)) || lastRemovedDigit >= 5 {
@@ -257,17 +305,57 @@ func Shortest(v float64) (digits []byte, k int) {
 	}
 	exp := e10 + removed
 
-	// Emit digit values.
-	var buf [20]byte
-	n := 0
-	for out > 0 {
-		buf[n] = byte(out % 10)
-		out /= 10
-		n++
+	// Emit ASCII digits into the caller's buffer.  The length is known up
+	// front (decimalLen), so digits land in their final positions — no
+	// reversal pass — and they come off two at a time through the pair
+	// table, so a 17-digit result costs nine 64-bit divisions instead of
+	// seventeen with no per-digit split arithmetic.
+	n = decimalLen(out)
+	i := n
+	for out >= 100 {
+		q := out / 100
+		j := (out - q*100) * 2
+		i -= 2
+		buf[i] = digitPairs[j]
+		buf[i+1] = digitPairs[j+1]
+		out = q
 	}
-	digits = make([]byte, n)
-	for i := 0; i < n; i++ {
-		digits[i] = buf[n-1-i]
+	if out >= 10 {
+		j := out * 2
+		buf[i-2] = digitPairs[j]
+		buf[i-1] = digitPairs[j+1]
+	} else {
+		buf[i-1] = '0' + byte(out)
 	}
-	return digits, exp + n
+	return n, exp + n, true
+}
+
+// digitPairs holds the two-digit ASCII renderings "00".."99" back to
+// back, so one table load replaces a div/mod pair per two digits.
+const digitPairs = "00010203040506070809" +
+	"10111213141516171819" +
+	"20212223242526272829" +
+	"30313233343536373839" +
+	"40414243444546474849" +
+	"50515253545556575859" +
+	"60616263646566676869" +
+	"70717273747576777879" +
+	"80818283848586878889" +
+	"90919293949596979899"
+
+// pow10 holds the powers of ten representable in a uint64.
+var pow10 = [20]uint64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+	1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19,
+}
+
+// decimalLen returns the decimal digit count of u >= 1: a bit-length
+// estimate of log10 (1233/4096 ≈ log10(2)), corrected by one table
+// compare.
+func decimalLen(u uint64) int {
+	t := bits.Len64(u) * 1233 >> 12
+	if u >= pow10[t] {
+		t++
+	}
+	return t
 }

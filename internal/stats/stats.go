@@ -70,6 +70,11 @@ var (
 	// GrisuMisses counts shortest conversions where Grisu3 was attempted
 	// but failed certification and the exact algorithm decided.
 	GrisuMisses Counter
+	// RyuHits counts shortest conversions served by the Ryū fast path.
+	RyuHits Counter
+	// RyuMisses counts shortest conversions where Ryū was attempted but
+	// declined (exact-halfway ties) and a fallback decided.
+	RyuMisses Counter
 	// GayHits counts fixed-format conversions certified by Gay's
 	// extended-float fast path.
 	GayHits Counter
@@ -102,6 +107,7 @@ var (
 // straddle an individual conversion but never tears a counter.
 type Snapshot struct {
 	GrisuHits, GrisuMisses         uint64
+	RyuHits, RyuMisses             uint64
 	GayHits, GayMisses             uint64
 	ExactFree, ExactFixed          uint64
 	BatchValues, BatchBytes        uint64
@@ -114,6 +120,8 @@ func Read() Snapshot {
 	return Snapshot{
 		GrisuHits:   GrisuHits.Load(),
 		GrisuMisses: GrisuMisses.Load(),
+		RyuHits:     RyuHits.Load(),
+		RyuMisses:   RyuMisses.Load(),
 		GayHits:     GayHits.Load(),
 		GayMisses:   GayMisses.Load(),
 		ExactFree:   ExactFree.Load(),
@@ -133,6 +141,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return Snapshot{
 		GrisuHits:   s.GrisuHits - prev.GrisuHits,
 		GrisuMisses: s.GrisuMisses - prev.GrisuMisses,
+		RyuHits:     s.RyuHits - prev.RyuHits,
+		RyuMisses:   s.RyuMisses - prev.RyuMisses,
 		GayHits:     s.GayHits - prev.GayHits,
 		GayMisses:   s.GayMisses - prev.GayMisses,
 		ExactFree:   s.ExactFree - prev.ExactFree,
@@ -150,7 +160,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 // benchmark phases).
 func Reset() {
 	for _, c := range []*Counter{
-		&GrisuHits, &GrisuMisses, &GayHits, &GayMisses,
+		&GrisuHits, &GrisuMisses, &RyuHits, &RyuMisses, &GayHits, &GayMisses,
 		&ExactFree, &ExactFixed, &BatchValues, &BatchBytes,
 		&ParseFastHits, &ParseFastMisses, &ParseExact,
 	} {

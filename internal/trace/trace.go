@@ -38,9 +38,12 @@ const (
 	BackendFastParse
 	// BackendExactParse is the exact big-integer reader (read side).
 	BackendExactParse
+	// BackendRyu is the Ryū free-format fast path (appended after the
+	// original constants so existing values and labels stay stable).
+	BackendRyu
 
 	// NumBackends sizes per-backend aggregate arrays.
-	NumBackends = int(BackendExactParse) + 1
+	NumBackends = int(BackendRyu) + 1
 )
 
 func (b Backend) String() string {
@@ -57,6 +60,8 @@ func (b Backend) String() string {
 		return "fastparse"
 	case BackendExactParse:
 		return "exact-parse"
+	case BackendRyu:
+		return "ryu"
 	}
 	return "none"
 }

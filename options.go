@@ -54,6 +54,60 @@ func (r ReaderRounding) reader() reader.RoundMode {
 	}
 }
 
+// Backend selects which algorithm generates shortest (free-format)
+// digits.  Every backend produces byte-identical output: the fast paths
+// follow the decline-don't-error contract, falling through to the exact
+// Burger & Dybvig core whenever they cannot certifiably serve a request
+// (non-base-10, non-default scaling, reader modes outside a backend's
+// proof, Ryū's exact-halfway ties, Grisu3 certification failures).
+// Selecting a backend therefore changes the path mix and the speed, never
+// the answer.
+type Backend int
+
+const (
+	// BackendAuto picks the fastest applicable backend per call: Ryū for
+	// base-10 nearest-even binary64 requests, Grisu3 for the other reader
+	// modes, and the exact core otherwise.  This is the default.
+	BackendAuto Backend = iota
+	// BackendGrisu prefers the certified Grisu3 fast path (~0.5% exact
+	// fallback on certification failure).
+	BackendGrisu
+	// BackendRyu prefers the Ryū fast path (nearest-even reader only;
+	// exact fallback on halfway ties and unsupported modes).
+	BackendRyu
+	// BackendExact always runs the paper's exact big-integer algorithm.
+	BackendExact
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendGrisu:
+		return "grisu"
+	case BackendRyu:
+		return "ryu"
+	case BackendExact:
+		return "exact"
+	}
+	return "auto"
+}
+
+// ParseBackend converts a backend name ("auto", "grisu", "ryu", "exact";
+// "" means auto) to its Backend value.  The serving layer and CLIs use it
+// to accept backend selections as text.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case "grisu":
+		return BackendGrisu, nil
+	case "ryu":
+		return BackendRyu, nil
+	case "exact":
+		return BackendExact, nil
+	}
+	return BackendAuto, fmt.Errorf("floatprint: unknown backend %q (want auto, grisu, ryu, or exact)", s)
+}
+
 // Notation selects how digit results are rendered as text.
 type Notation int
 
@@ -105,6 +159,10 @@ type Options struct {
 	Notation Notation
 	// Scaling selects the scale-factor algorithm (benchmarking only).
 	Scaling Scaling
+	// Backend selects the shortest-digit generation backend.  Zero
+	// (BackendAuto) picks the fastest applicable fast path per call.
+	// Output never depends on the choice; only speed does.
+	Backend Backend
 	// NoMarks renders insignificant trailing digits as '0' instead of the
 	// paper's '#' marks.  The digits still read back correctly; only the
 	// explicit insignificance annotation is lost.
@@ -117,7 +175,11 @@ func defaultOptions() Options {
 	return Options{Base: 10}
 }
 
-// norm returns o with defaults applied, validating the base.
+// norm returns o with defaults applied, validating the base and backend.
+// Error construction lives in normErr so norm itself stays within the
+// inlining budget: it runs on every call of the append fast paths, where
+// an out-of-line call plus two fmt.Errorf bodies would cost more than
+// the conversion's rendering.
 func (o *Options) norm() (Options, error) {
 	var v Options
 	if o != nil {
@@ -126,8 +188,16 @@ func (o *Options) norm() (Options, error) {
 	if v.Base == 0 {
 		v.Base = 10
 	}
-	if v.Base < 2 || v.Base > 36 {
-		return v, fmt.Errorf("floatprint: base %d out of range [2,36]", v.Base)
+	if v.Base < 2 || v.Base > 36 || v.Backend < BackendAuto || v.Backend > BackendExact {
+		return v, v.normErr()
 	}
 	return v, nil
+}
+
+// normErr builds the validation error for a norm failure.
+func (o Options) normErr() error {
+	if o.Base < 2 || o.Base > 36 {
+		return fmt.Errorf("floatprint: base %d out of range [2,36]", o.Base)
+	}
+	return fmt.Errorf("floatprint: unknown backend %d", o.Backend)
 }

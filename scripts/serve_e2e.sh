@@ -51,6 +51,15 @@ got="$(curl -fsS "$base/v1/shortest?v=1e23")"
 got="$(curl -fsS "$base/v1/shortest?v=1e23&mode=unknown")"
 [ "$got" = "9.999999999999999e22" ] || fail "mode=unknown = $got"
 
+echo "== /v1/shortest: backend selection =="
+got="$(curl -fsS "$base/v1/shortest?v=0.3&backend=ryu")"
+[ "$got" = "0.3" ] || fail "backend=ryu v=0.3 = $got, want 0.3"
+got="$(curl -fsS "$base/v1/shortest?v=0.3&backend=exact")"
+[ "$got" = "0.3" ] || fail "backend=exact v=0.3 = $got, want 0.3"
+# An unknown backend is a client error, not a conversion.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/shortest?v=0.3&backend=bogus")"
+[ "$code" = "400" ] || fail "backend=bogus returned HTTP $code, want 400"
+
 echo "== /v1/fixed =="
 got="$(curl -fsS "$base/v1/fixed?v=3.14159&n=3")"
 [ "$got" = "3.14" ] || fail "/v1/fixed?v=3.14159&n=3 = $got, want 3.14"
@@ -96,10 +105,11 @@ batch_values="$(awk '$1 == "floatprint_batch_values_total" { print $2 }' "$workd
 [ "$batch_values" -ge 10000 ] || fail "floatprint_batch_values_total = $batch_values, want >= 10000"
 requests="$(awk '$1 == "fpserved_requests_total" { print $2 }' "$workdir/metrics.txt")"
 [ -n "$requests" ] || fail "fpserved_requests_total missing from /metrics"
-# Eight conversion requests so far (three shortest, one fixed, three
-# parse, one batch); /healthz, /metrics, and /debug bypass the
-# instrumented chain and are deliberately not counted.
-[ "$requests" -eq 8 ] || fail "fpserved_requests_total = $requests, want 8"
+# Eleven conversion requests so far (six shortest — including the two
+# backend selections and the rejected backend=bogus, counted at receipt
+# — one fixed, three parse, one batch); /healthz, /metrics, and /debug
+# bypass the instrumented chain and are deliberately not counted.
+[ "$requests" -eq 11 ] || fail "fpserved_requests_total = $requests, want 11"
 
 echo "== /metrics: parse path counters =="
 parse_hits="$(awk '$1 == "floatprint_parse_fast_hits_total" { print $2 }' "$workdir/metrics.txt")"
@@ -110,12 +120,25 @@ parse_exact="$(awk '$1 == "floatprint_parse_exact_total" { print $2 }' "$workdir
 # The 1e23 tie and the 1e999 overflow both took the exact reader.
 [ "$parse_exact" -ge 2 ] || fail "floatprint_parse_exact_total = $parse_exact, want >= 2"
 
+echo "== /metrics: ryu backend counters =="
+ryu_hits="$(awk '$1 == "floatprint_ryu_hits_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$ryu_hits" ] || fail "floatprint_ryu_hits_total missing from /metrics"
+# The default registry routes nearest-even shortest conversions to ryu,
+# so nearly all of the 10k batch lands here (less the rare exact-halfway
+# declines and specials, well under 1%).
+[ "$ryu_hits" -ge 9900 ] || fail "floatprint_ryu_hits_total = $ryu_hits, want >= 9900"
+grep -q '^floatprint_ryu_misses_total' "$workdir/metrics.txt" \
+  || fail "floatprint_ryu_misses_total missing from /metrics"
+
 echo "== /metrics: conversion-trace telemetry =="
 trace_conv="$(awk '$1 == "floatprint_trace_conversions_total" { print $2 }' "$workdir/metrics.txt")"
 [ -n "$trace_conv" ] || fail "floatprint_trace_conversions_total missing from /metrics"
 [ "$trace_conv" -ge 1 ] || fail "floatprint_trace_conversions_total = $trace_conv, want >= 1"
 grep -q '^floatprint_trace_backend_total{backend="grisu3"}' "$workdir/metrics.txt" \
-  || fail "labeled backend mix missing from /metrics"
+  || fail "labeled backend mix missing grisu3 from /metrics"
+# The default-mode shortest conversions above ran on the ryu backend.
+grep -q '^floatprint_trace_backend_total{backend="ryu"}' "$workdir/metrics.txt" \
+  || fail "labeled backend mix missing ryu from /metrics"
 grep -q '^floatprint_digit_length_bucket{le="17"}' "$workdir/metrics.txt" \
   || fail "digit-length histogram missing from /metrics"
 

@@ -57,6 +57,11 @@ func optionsFromQuery(q url.Values) (*floatprint.Options, error) {
 	default:
 		return nil, fmt.Errorf("bad nomarks %q", q.Get("nomarks"))
 	}
+	backend, err := floatprint.ParseBackend(q.Get("backend"))
+	if err != nil {
+		return nil, fmt.Errorf("bad backend %q (want auto, grisu, ryu, exact)", q.Get("backend"))
+	}
+	opts.Backend = backend
 	return opts, nil
 }
 

@@ -24,6 +24,8 @@ import (
 type Stats struct {
 	GrisuHits   uint64 // shortest conversions certified by Grisu3
 	GrisuMisses uint64 // Grisu3 attempted, failed certification
+	RyuHits     uint64 // shortest conversions served by Ryū
+	RyuMisses   uint64 // Ryū attempted, declined (exact-halfway ties)
 	GayHits     uint64 // fixed conversions certified by Gay's fast path
 	GayMisses   uint64 // Gay fast path attempted, declined
 	ExactFree   uint64 // exact free-format (shortest) conversions
@@ -89,6 +91,8 @@ func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
 		GrisuHits:   s.GrisuHits - prev.GrisuHits,
 		GrisuMisses: s.GrisuMisses - prev.GrisuMisses,
+		RyuHits:     s.RyuHits - prev.RyuHits,
+		RyuMisses:   s.RyuMisses - prev.RyuMisses,
 		GayHits:     s.GayHits - prev.GayHits,
 		GayMisses:   s.GayMisses - prev.GayMisses,
 		ExactFree:   s.ExactFree - prev.ExactFree,
@@ -125,6 +129,7 @@ func (s Stats) String() string {
 		}
 	}
 	rate("grisu", s.GrisuHits, s.GrisuMisses)
+	rate("ryu", s.RyuHits, s.RyuMisses)
 	rate("gay fast-path", s.GayHits, s.GayMisses)
 	line("exact free-format", s.ExactFree)
 	line("exact fixed-format", s.ExactFixed)
@@ -163,6 +168,8 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	}{
 		{"floatprint_grisu_hits_total", "Shortest conversions certified by the Grisu3 fast path.", s.GrisuHits},
 		{"floatprint_grisu_misses_total", "Shortest conversions where Grisu3 failed certification.", s.GrisuMisses},
+		{"floatprint_ryu_hits_total", "Shortest conversions served by the Ryu fast path.", s.RyuHits},
+		{"floatprint_ryu_misses_total", "Shortest conversions where Ryu declined (exact-halfway ties).", s.RyuMisses},
 		{"floatprint_gay_hits_total", "Fixed conversions certified by Gay's fast path.", s.GayHits},
 		{"floatprint_gay_misses_total", "Fixed conversions where Gay's fast path declined.", s.GayMisses},
 		{"floatprint_exact_free_total", "Exact free-format (shortest) conversions.", s.ExactFree},
@@ -190,6 +197,8 @@ func fromSnap(s stats.Snapshot) Stats {
 	return Stats{
 		GrisuHits:   s.GrisuHits,
 		GrisuMisses: s.GrisuMisses,
+		RyuHits:     s.RyuHits,
+		RyuMisses:   s.RyuMisses,
 		GayHits:     s.GayHits,
 		GayMisses:   s.GayMisses,
 		ExactFree:   s.ExactFree,

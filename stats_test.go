@@ -19,9 +19,13 @@ func TestStatsPathMix(t *testing.T) {
 	defer SetStatsEnabled(prev)
 
 	before := Snapshot()
-	// 0.3 certifies on grisu; FixedDigits(0.3, 6) certifies on Gay's
-	// fast path; a base-16 conversion can only take the exact path.
+	// 0.3 under the default (auto) backend serves on Ryū; an explicit
+	// grisu backend certifies on Grisu3; FixedDigits(0.3, 6) certifies on
+	// Gay's fast path; a base-16 conversion can only take the exact path.
 	Shortest(0.3)
+	if _, err := Format(0.3, &Options{Backend: BackendGrisu}); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := FixedDigits(0.3, 6, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -32,6 +36,9 @@ func TestStatsPathMix(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := Snapshot().Sub(before)
+	if d.RyuHits != 1 {
+		t.Errorf("RyuHits = %d, want 1", d.RyuHits)
+	}
 	if d.GrisuHits != 1 {
 		t.Errorf("GrisuHits = %d, want 1", d.GrisuHits)
 	}
@@ -46,7 +53,7 @@ func TestStatsPathMix(t *testing.T) {
 	}
 
 	out := d.String()
-	for _, want := range []string{"grisu hit rate", "gay fast-path hits", "exact free-format"} {
+	for _, want := range []string{"grisu hit rate", "ryu hit rate", "gay fast-path hits", "exact free-format"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Stats.String() missing %q:\n%s", want, out)
 		}
@@ -59,13 +66,14 @@ func TestStatsFallbackCounting(t *testing.T) {
 	defer SetStatsEnabled(prev)
 
 	// Find a grisu-uncertified value (~0.5% of the corpus) and convert it
-	// through AppendShortest: one miss, one exact conversion, no
-	// double-counting from the public fallback re-entering shortestValue.
+	// through the explicit grisu backend: one miss, one exact conversion,
+	// no double-counting from the fallback re-entering shortestValue.
 	floats, _ := benchCorpus()
+	grisuOpts := &Options{Backend: BackendGrisu}
 	var hard float64
 	for _, f := range floats {
 		ResetStats()
-		AppendShortest(nil, f)
+		AppendShortestWith(nil, f, grisuOpts)
 		if s := Snapshot(); s.GrisuMisses == 1 {
 			hard = f
 			break
@@ -75,10 +83,21 @@ func TestStatsFallbackCounting(t *testing.T) {
 		t.Skip("no uncertified value in the bench corpus prefix")
 	}
 	ResetStats()
-	AppendShortest(nil, hard)
+	AppendShortestWith(nil, hard, grisuOpts)
 	d := Snapshot()
 	if d.GrisuMisses != 1 || d.ExactFree != 1 || d.GrisuHits != 0 {
 		t.Fatalf("fallback for %x counted %+v, want 1 miss + 1 exact", hard, d)
+	}
+
+	// The same single-count contract for the default (Ryū) backend, on a
+	// value whose shortest form is an exact halfway tie (a genuine Ryū
+	// decline, found by scanning the corpus).
+	tie := findRyuDecline(t)
+	ResetStats()
+	AppendShortest(nil, tie)
+	d = Snapshot()
+	if d.RyuMisses != 1 || d.ExactFree != 1 || d.RyuHits != 0 {
+		t.Fatalf("ryu fallback for %x counted %+v, want 1 miss + 1 exact", tie, d)
 	}
 }
 
@@ -88,6 +107,7 @@ func TestStatsFallbackCounting(t *testing.T) {
 func TestStatsWritePrometheus(t *testing.T) {
 	s := Stats{
 		GrisuHits: 995, GrisuMisses: 5,
+		RyuHits: 900, RyuMisses: 3,
 		GayHits: 80, GayMisses: 20,
 		ExactFree: 25, ExactFixed: 30,
 		BatchValues: 1000, BatchBytes: 17500,
@@ -105,6 +125,12 @@ floatprint_grisu_hits_total 995
 # HELP floatprint_grisu_misses_total Shortest conversions where Grisu3 failed certification.
 # TYPE floatprint_grisu_misses_total counter
 floatprint_grisu_misses_total 5
+# HELP floatprint_ryu_hits_total Shortest conversions served by the Ryu fast path.
+# TYPE floatprint_ryu_hits_total counter
+floatprint_ryu_hits_total 900
+# HELP floatprint_ryu_misses_total Shortest conversions where Ryu declined (exact-halfway ties).
+# TYPE floatprint_ryu_misses_total counter
+floatprint_ryu_misses_total 3
 # HELP floatprint_gay_hits_total Fixed conversions certified by Gay's fast path.
 # TYPE floatprint_gay_hits_total counter
 floatprint_gay_hits_total 80

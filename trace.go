@@ -31,6 +31,7 @@ const (
 	TraceBackendExactFixed = trace.BackendExactFixed
 	TraceBackendFastParse  = trace.BackendFastParse
 	TraceBackendExactParse = trace.BackendExactParse
+	TraceBackendRyu        = trace.BackendRyu
 )
 
 // ShortestDigitsTraced is ShortestDigits recording the conversion's
