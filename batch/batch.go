@@ -49,15 +49,25 @@ type Config struct {
 	// byte-identical for every choice; only the path mix and the
 	// throughput change.
 	Backend floatprint.Backend
+	// ParseBlockBytes is ParseAll's input block target: how many bytes
+	// are buffered (and sharded) per scan-and-write round.  Zero or
+	// negative means 1 MiB.
+	ParseBlockBytes int
+	// MaxTokenBytes caps a single separator-free token in ParseAll; a
+	// longer run is a malformed stream, not a number, and is rejected
+	// rather than buffered without bound.  Zero or negative means 1 MiB.
+	MaxTokenBytes int
 }
 
 // Pool is a reusable batch-conversion engine.  A Pool carries no
 // per-call state, so one Pool may run any number of concurrent Convert
 // and WriteAll calls.
 type Pool struct {
-	shards int
-	chunk  int
-	sep    []byte
+	shards     int
+	chunk      int
+	sep        []byte
+	parseBlock int
+	maxToken   int
 	// opts is non-nil only for a non-default backend selection, so the
 	// default path stays on the argument-free AppendShortest fast call.
 	opts *floatprint.Options
@@ -73,7 +83,15 @@ func New(cfg Config) *Pool {
 	if chunk <= 0 {
 		chunk = 4096
 	}
-	p := &Pool{shards: shards, chunk: chunk, sep: cfg.Sep}
+	parseBlock := cfg.ParseBlockBytes
+	if parseBlock <= 0 {
+		parseBlock = 1 << 20
+	}
+	maxToken := cfg.MaxTokenBytes
+	if maxToken <= 0 {
+		maxToken = 1 << 20
+	}
+	p := &Pool{shards: shards, chunk: chunk, sep: cfg.Sep, parseBlock: parseBlock, maxToken: maxToken}
 	if cfg.Backend != floatprint.BackendAuto {
 		p.opts = &floatprint.Options{Backend: cfg.Backend}
 	}

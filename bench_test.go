@@ -428,3 +428,87 @@ func BenchmarkStrconvParseReference(b *testing.B) {
 		}
 	}
 }
+
+// benchBatchParseInput renders 65536 corpus values as NDJSON once,
+// shared by the batch-parse benchmarks so all three contenders scan
+// identical bytes.  SetBytes makes `go test -bench` report MB/s — the
+// figure the CI throughput floor gates on.
+var (
+	benchBatchParseOnce sync.Once
+	benchBatchParseIn   []byte
+)
+
+func benchBatchParseInput() []byte {
+	benchBatchParseOnce.Do(func() {
+		for _, v := range schryer.CorpusN(65536) {
+			benchBatchParseIn = AppendShortest(benchBatchParseIn, v)
+			benchBatchParseIn = append(benchBatchParseIn, '\n')
+		}
+	})
+	return benchBatchParseIn
+}
+
+// BenchmarkBatchParse_Block is the headline ingestion number: the
+// block-at-a-time scanner (SWAR 8-digit chunks into the Eisel–Lemire
+// certifier) over one contiguous NDJSON range, zero allocations steady
+// state.  The acceptance bar is ≥300 MB/s on the CI runner.
+func BenchmarkBatchParse_Block(b *testing.B) {
+	in := benchBatchParseInput()
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	var dst []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = AppendParseBatch(dst[:0], in)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchParse_PerValue is the same tokens through the public
+// per-value Parse — what the block engine must beat to earn its keep.
+func BenchmarkBatchParse_PerValue(b *testing.B) {
+	in := benchBatchParseInput()
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < len(in); {
+			k := j
+			for k < len(in) && in[k] != '\n' {
+				k++
+			}
+			if k > j {
+				if _, err := Parse(string(in[j:k]), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			j = k + 1
+		}
+	}
+}
+
+// BenchmarkBatchParse_Strconv is the standard-library baseline over the
+// same tokenization.
+func BenchmarkBatchParse_Strconv(b *testing.B) {
+	in := benchBatchParseInput()
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < len(in); {
+			k := j
+			for k < len(in) && in[k] != '\n' {
+				k++
+			}
+			if k > j {
+				if _, err := strconv.ParseFloat(string(in[j:k]), 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+			j = k + 1
+		}
+	}
+}

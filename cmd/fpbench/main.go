@@ -8,6 +8,9 @@
 //	fpbench -ablation    estimator accuracy: Burger-Dybvig vs Gay
 //	fpbench -parallel    concurrent-conversion scaling with goroutine count
 //	fpbench -batch       batch-engine corpus throughput, 1 shard vs NumCPU
+//	fpbench -batchparse  ingestion: batch-parse MB/s, block engine vs
+//	                     per-value Parse vs strconv, with bit-identity
+//	                     verification (-parse-floor N fails below N MB/s)
 //	fpbench -parse       read side: fast-path Parse vs the exact reader,
 //	                     with byte-identity verification and fallback rate
 //	fpbench -shootout    backend head-to-head: grisu vs ryu vs exact vs
@@ -48,6 +51,8 @@ func main() {
 	successors := flag.Bool("successors", false, "compare with Grisu3 and Ryu (follow-on work)")
 	parallel := flag.Bool("parallel", false, "concurrent shortest-conversion scaling")
 	batchF := flag.Bool("batch", false, "batch-engine corpus throughput (1 shard vs NumCPU)")
+	batchParseF := flag.Bool("batchparse", false, "batch-parse ingestion throughput in MB/s: block engine vs per-value Parse vs strconv")
+	parseFloor := flag.Float64("parse-floor", 0, "with -batchparse: fail unless the block engine sustains this many MB/s")
 	parseF := flag.Bool("parse", false, "fast-path Parse vs exact reader, with fallback rate")
 	shootout := flag.Bool("shootout", false, "backend head-to-head: grisu vs ryu vs exact vs strconv")
 	all := flag.Bool("all", false, "run every experiment")
@@ -55,7 +60,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write results as a BENCH JSON artifact to this path (\"-\" for stdout)")
 	flag.Parse()
 
-	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel && !*batchF && !*parseF && !*shootout {
+	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel && !*batchF && !*batchParseF && !*parseF && !*shootout {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -94,6 +99,11 @@ func main() {
 	}
 	if *all || *batchF {
 		if err := runBatch(corpus, art); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *batchParseF {
+		if err := runBatchParse(corpus, *parseFloor, art); err != nil {
 			fatal(err)
 		}
 	}
@@ -192,6 +202,39 @@ func runBatch(corpus []float64, art *harness.Artifact) error {
 		return err
 	}
 	fmt.Println("batch output verified byte-identical to per-value AppendShortest")
+	fmt.Println()
+	return nil
+}
+
+// runBatchParse reports batch-parse ingestion throughput in MB/s —
+// the Lemire figure of merit — for the block engine, a per-value Parse
+// loop, and strconv, then verifies the acceptance invariant that the
+// packed output is bit-identical to per-value Parse on every token.
+// With floor > 0 the run fails unless the block engine sustains that
+// many MB/s, which is how CI pins an absolute ingestion bar.
+func runBatchParse(corpus []float64, floor float64, art *harness.Artifact) error {
+	fmt.Println("== Batch-parse engine: NDJSON ingestion throughput ==")
+	rows, err := harness.RunBatchParse(corpus)
+	if err != nil {
+		return err
+	}
+	in := harness.BatchParseNDJSON(corpus)
+	fmt.Print(harness.RenderBatchParse(rows, len(in), len(corpus)))
+	for _, r := range rows {
+		record(art, "BatchParse/"+slug(r.Name), nsPerValue(r.Elapsed, len(corpus)),
+			map[string][]float64{"MB/s": {r.MBPerSec}, "speedup": {r.Speedup}})
+	}
+	if err := harness.VerifyBatchParse(corpus); err != nil {
+		return err
+	}
+	fmt.Println("batch-parse output verified bit-identical to per-value Parse")
+	if floor > 0 {
+		block := rows[0].MBPerSec
+		if block < floor {
+			return fmt.Errorf("batch-parse floor: block engine sustained %.1f MB/s, floor is %.1f", block, floor)
+		}
+		fmt.Printf("floor: block engine %.1f MB/s >= %.1f MB/s\n", block, floor)
+	}
 	fmt.Println()
 	return nil
 }

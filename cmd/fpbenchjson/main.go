@@ -4,6 +4,7 @@
 //
 //	go test -run '^$' -bench Shortest -count 8 . | fpbenchjson > BENCH_head.json
 //	fpbenchjson -base BENCH_base.json -head BENCH_head.json -max-regress 10
+//	fpbenchjson -head BENCH_head.json -floor "BatchParse/block:MB/s:300"
 //
 // Convert mode reads benchmark lines from stdin and writes JSON to
 // stdout.  Compare mode loads two JSON artifacts, matches benchmarks by
@@ -11,6 +12,12 @@
 // in both is more than -max-regress percent slower in head; medians
 // over repeated -count runs make the gate robust to a single noisy
 // pass.
+//
+// -floor adds an absolute acceptance bar on the head artifact alone:
+// every benchmark whose name contains the substring must report a
+// median for the named metric of at least the minimum, or the exit
+// status is 1.  It composes with compare mode (floor first, then the
+// relative gate) or runs standalone with just -head.
 //
 // The schema and comparison logic live in internal/harness, shared with
 // `fpbench -json`, so the gate consumes artifacts from either tool.
@@ -28,7 +35,33 @@ func main() {
 	base := flag.String("base", "", "baseline BENCH JSON (enables compare mode)")
 	head := flag.String("head", "", "head BENCH JSON (compare mode)")
 	maxRegress := flag.Float64("max-regress", 10, "max allowed median ns/op regression, percent")
+	floor := flag.String("floor", "", `absolute floor check "substr:metric:min" on -head (e.g. "BatchParse/block:MB/s:300")`)
 	flag.Parse()
+
+	if *floor != "" {
+		if *head == "" {
+			fatal(fmt.Errorf("-floor needs -head"))
+		}
+		substr, metric, min, err := harness.ParseFloorSpec(*floor)
+		if err != nil {
+			fatal(err)
+		}
+		art, err := harness.LoadArtifact(*head)
+		if err != nil {
+			fatal(err)
+		}
+		failures, report, err := harness.CheckFloor(art, substr, metric, min)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+		if failures > 0 {
+			os.Exit(1)
+		}
+		if *base == "" {
+			return
+		}
+	}
 
 	if *base != "" || *head != "" {
 		if *base == "" || *head == "" {

@@ -1,8 +1,9 @@
 // Command fpserved runs the floatprint conversion service: shortest
 // and fixed-format conversion of single values, number parsing through
 // the certified fast-path reader, streaming batch conversion over the
-// sharded pool, and Prometheus metrics, with explicit load-shedding at
-// a configurable in-flight cap.
+// sharded pool, bulk ingestion through the block-at-a-time batch parse
+// engine (text in, packed little-endian float64 out), and Prometheus
+// metrics, with explicit load-shedding at a configurable in-flight cap.
 //
 //	fpserved -addr :8080 -inflight 64
 //
@@ -10,6 +11,7 @@
 //	curl 'localhost:8080/v1/parse?s=1.25e-3'
 //	curl 'localhost:8080/v1/fixed?v=3.14159&n=3'
 //	seq 1 10000 | awk '{print $1 * 0.1}' | curl -s --data-binary @- localhost:8080/v1/batch
+//	seq 1 10000 | awk '{print $1 * 0.1}' | curl -s --data-binary @- localhost:8080/v1/batch-parse >packed.bin
 //	curl localhost:8080/metrics
 //
 // Every conversion request gets a structured access-log line on stderr
@@ -49,7 +51,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
-	maxBatch := flag.Int64("max-batch-bytes", 1<<30, "request-body cap for /v1/batch")
+	maxBatch := flag.Int64("max-batch-bytes", 1<<30, "request-body cap for /v1/batch and /v1/batch-parse")
 	shards := flag.Int("shards", 0, "batch pool shards (0 = GOMAXPROCS)")
 	chunk := flag.Int("chunk", 0, "batch pool chunk size in values (0 = 4096)")
 	statsOn := flag.Bool("stats", true, "collect conversion-path telemetry for /metrics")

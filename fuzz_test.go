@@ -260,3 +260,28 @@ func FuzzFixedVsExact(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBatchParseVsParse feeds arbitrary byte streams through the
+// block-at-a-time batch engine and the per-value oracle (BatchSep
+// tokenization + Parse under default options): the engines must agree
+// on every value bit for bit, and on the first error's record index,
+// byte offset, and message.  This is the whole-engine form of the SWAR
+// kernel's subset contract — the block scanner may decline any token,
+// but it may never certify a value, or locate a failure, differently
+// from the per-value path.
+func FuzzBatchParseVsParse(f *testing.F) {
+	for _, bits := range fuzzSeeds {
+		f.Add([]byte(strconv.FormatFloat(math.Float64frombits(bits), 'g', -1, 64) + "\n"))
+	}
+	for _, s := range []string{
+		"1.5 2.5\nbogus\n3.5\n", "1,2\r\n3\t4 ", "1e999\n-1e999\n", "nan inf -inf",
+		"", "\n\n,,  ", "00000000000000000000.3\n", "1234567890123456789012345\n",
+		"3..4\n", "1\x002\n", "1e\n", "+ - .\n", "1#5\n12@-3\n",
+		"9007199254740993,9007199254740993", "2.2250738585072011e-308 4.9e-324\n",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		assertBatchMatchesRef(t, data)
+	})
+}

@@ -173,6 +173,58 @@ func CompareArtifacts(base, head *Artifact, maxRegress float64) (regressions int
 	return regressions, sb.String()
 }
 
+// CheckFloor enforces an absolute throughput floor on an artifact:
+// every benchmark whose name contains substr must report a median for
+// the named metric of at least min.  Unlike CompareArtifacts this needs
+// no baseline, so it holds even when base and head regress together —
+// the shape of an acceptance bar like "the batch parser sustains 300
+// MB/s", not "no slower than yesterday".  It returns the number of
+// failures, and errors when no benchmark matches (a silently vacuous
+// gate is a disabled gate).
+func CheckFloor(art *Artifact, substr, metric string, min float64) (failures int, report string, err error) {
+	var sb strings.Builder
+	matched := 0
+	for _, b := range art.Benchmarks {
+		if !strings.Contains(b.Name, substr) {
+			continue
+		}
+		samples := b.Metrics[metric]
+		if len(samples) == 0 {
+			continue
+		}
+		matched++
+		got := median(samples)
+		mark := "ok"
+		if got < min {
+			failures++
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%-52s %s %12.1f >= %.1f  %s\n", b.Name, metric, got, min, mark)
+	}
+	if matched == 0 {
+		return 0, "", fmt.Errorf("floor %q:%s: no benchmark matched", substr, metric)
+	}
+	return failures, sb.String(), nil
+}
+
+// ParseFloorSpec parses a -floor flag value of the form
+// "substr:metric:min" (e.g. "BatchParse/block:MB/s:300").  The metric
+// may itself contain colons-free slashes; the split is at the first and
+// last colon so "MB/s" survives intact.
+func ParseFloorSpec(spec string) (substr, metric string, min float64, err error) {
+	first := strings.Index(spec, ":")
+	last := strings.LastIndex(spec, ":")
+	if first < 0 || first == last {
+		return "", "", 0, fmt.Errorf("floor spec %q: want substr:metric:min", spec)
+	}
+	substr, metric = spec[:first], spec[first+1:last]
+	min, err = strconv.ParseFloat(spec[last+1:], 64)
+	if err != nil || substr == "" || metric == "" {
+		return "", "", 0, fmt.Errorf("floor spec %q: want substr:metric:min", spec)
+	}
+	return substr, metric, min, nil
+}
+
 // LoadArtifact reads a BENCH_*.json file.
 func LoadArtifact(path string) (*Artifact, error) {
 	data, err := os.ReadFile(path)

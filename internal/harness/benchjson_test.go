@@ -126,3 +126,41 @@ func TestCompareArtifactsFlagsRegression(t *testing.T) {
 		t.Errorf("report:\n%s", report)
 	}
 }
+
+func TestParseFloorSpec(t *testing.T) {
+	substr, metric, min, err := ParseFloorSpec("BatchParse/block:MB/s:300")
+	if err != nil || substr != "BatchParse/block" || metric != "MB/s" || min != 300 {
+		t.Fatalf("ParseFloorSpec = (%q, %q, %v, %v)", substr, metric, min, err)
+	}
+	for _, bad := range []string{"", "a", "a:b", ":MB/s:300", "a::300", "a:b:nope"} {
+		if _, _, _, err := ParseFloorSpec(bad); err == nil {
+			t.Fatalf("ParseFloorSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestCheckFloor(t *testing.T) {
+	art := &Artifact{}
+	art.Append("BatchParse/block", []float64{50}, map[string][]float64{"MB/s": {420, 431, 405}})
+	art.Append("BatchParse/strconv", []float64{110}, map[string][]float64{"MB/s": {190}})
+	art.Append("Shortest", []float64{100}, nil)
+
+	failures, report, err := CheckFloor(art, "BatchParse", "MB/s", 300)
+	if err != nil || failures != 1 {
+		t.Fatalf("CheckFloor(300) = %d failures, err %v; want 1 (strconv below)", failures, err)
+	}
+	if !strings.Contains(report, "FAIL") || !strings.Contains(report, "420.0") {
+		t.Fatalf("report lacks FAIL mark or median:\n%s", report)
+	}
+
+	failures, _, err = CheckFloor(art, "BatchParse/block", "MB/s", 300)
+	if err != nil || failures != 0 {
+		t.Fatalf("CheckFloor(block, 300) = %d failures, err %v; want 0", failures, err)
+	}
+
+	// A floor that matches nothing is an error, not a silent pass: the
+	// metric-less Shortest entry must not satisfy an MB/s floor either.
+	if _, _, err := CheckFloor(art, "Shortest", "MB/s", 1); err == nil {
+		t.Fatal("vacuous floor passed, want error")
+	}
+}

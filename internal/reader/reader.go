@@ -14,7 +14,11 @@
 //
 // The implementation uses exact big-integer arithmetic throughout — the
 // scaled comparison approach of Clinger's AlgorithmM — so results are
-// correctly rounded for all inputs, at the cost of speed on huge exponents.
+// correctly rounded for all inputs, at the cost of speed on huge
+// exponents.  Exponents so large the value provably overflows (or so
+// small it provably rounds to zero) are decided by an O(1) magnitude
+// bound instead, so no input costs big-integer work beyond its own
+// digit count.
 package reader
 
 import (
@@ -87,6 +91,28 @@ func Convert(n Number, f *fpformat.Format, mode RoundMode) (fpformat.Value, erro
 		return fpformat.Value{Fmt: f, Class: fpformat.Zero, Neg: n.Neg}, nil
 	}
 	exp := n.K - len(n.Digits)
+
+	// Magnitude pre-check: the value is d × Base^exp, and d.BitLen()
+	// pins log2(d) within one bit, so log2(value) is known to ±1 here
+	// in O(1).  Astronomical exponents must be decided now — without
+	// this, a stray "1e20000000" spends minutes raising the base to a
+	// multi-megabit power on its way to the same ±Inf or ±0, a denial
+	// of service every caller (and the batch parse engine especially)
+	// would inherit.  The 16-bit margin keeps any case a float bound
+	// cannot decide on the exact path; such borderline exponents are
+	// small, so the exact path stays cheap for them.
+	log2In := math.Log2(float64(n.Base))
+	log2Out := math.Log2(float64(f.Base))
+	log2Lo := float64(d.BitLen()-1) + float64(exp)*log2In // <= log2(value)
+	log2Hi := float64(d.BitLen()) + float64(exp)*log2In   // >= log2(value)
+	if log2Lo > float64(f.MaxExp+f.Precision)*log2Out+16 {
+		return fpformat.Value{Fmt: f, Class: fpformat.Inf, Neg: n.Neg}, ErrRange
+	}
+	if log2Hi < float64(f.MinExp)*log2Out-16 {
+		// Below half the smallest denormal by a wide margin: every
+		// rounding mode takes it to zero, as roundRational would.
+		return fpformat.Value{Fmt: f, Class: fpformat.Zero, Neg: n.Neg}, nil
+	}
 
 	// Exact rational x = num/den.
 	num, den := d, bignat.Nat{1}

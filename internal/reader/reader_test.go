@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"floatprint/internal/core"
 	"floatprint/internal/fpformat"
@@ -385,6 +386,56 @@ func TestAllOnesMantissaSweep(t *testing.T) {
 		if err != nil || math.Float64bits(got) != bits {
 			t.Fatalf("all-ones be=%d: ParseFloat64(%q) = %x, want %x",
 				be, s, math.Float64bits(got), bits)
+		}
+	}
+}
+
+// TestAstronomicalExponents pins the O(1) magnitude pre-check: inputs
+// whose exponent alone decides the result must finish in bounded time
+// with the same ±Inf/±0 the exact path would reach, instead of raising
+// the base to a multi-megabit power first (a 4-minute stall at
+// e=16777215 before the check existed — a denial of service the batch
+// parse engine would have inherited from a single hostile token).
+func TestAstronomicalExponents(t *testing.T) {
+	deadline := time.Now().Add(5 * time.Second)
+	for _, c := range []struct {
+		in    string
+		class fpformat.Class
+		neg   bool
+		err   error
+	}{
+		{"1e16777215", fpformat.Inf, false, ErrRange},
+		{"-2.01e16777215", fpformat.Inf, true, ErrRange},
+		{"9e2250738", fpformat.Inf, false, ErrRange},
+		{"1e-16777215", fpformat.Zero, false, nil},
+		{"-1e-2250738", fpformat.Zero, true, nil},
+		{"0.00000001e16000000", fpformat.Inf, false, ErrRange},
+	} {
+		v, err := Parse(c.in, 10, fpformat.Binary64, NearestEven)
+		if err != c.err || v.Class != c.class || v.Neg != c.neg {
+			t.Errorf("Parse(%q) = class %v neg %v err %v, want %v %v %v",
+				c.in, v.Class, v.Neg, err, c.class, c.neg, c.err)
+		}
+	}
+	if time.Now().After(deadline) {
+		t.Fatal("astronomical exponents took seconds: the magnitude pre-check is not engaging")
+	}
+	// Near-threshold exponents still go through the exact path and keep
+	// their precise boundary behavior.
+	for _, c := range []struct {
+		in    string
+		class fpformat.Class
+		err   error
+	}{
+		{"1.7976931348623157e308", fpformat.Normal, nil},
+		{"1.7976931348623159e308", fpformat.Inf, ErrRange},
+		{"1e309", fpformat.Inf, ErrRange},
+		{"4.9e-324", fpformat.Denormal, nil},
+		{"1e-324", fpformat.Zero, nil},
+	} {
+		v, err := Parse(c.in, 10, fpformat.Binary64, NearestEven)
+		if err != c.err || v.Class != c.class {
+			t.Errorf("Parse(%q) = class %v err %v, want %v %v", c.in, v.Class, err, c.class, c.err)
 		}
 	}
 }

@@ -100,6 +100,18 @@ var (
 	// including those where no fast path applied (other bases, directed
 	// modes) and those that ended in a range error.
 	ParseExact Counter
+	// BatchParseBlocks counts contiguous byte ranges scanned by the
+	// block-at-a-time batch parse engine.
+	BatchParseBlocks Counter
+	// BatchParseValues counts values parsed by the batch parse engine.
+	BatchParseValues Counter
+	// BatchParseBytes counts input bytes consumed by the batch parse
+	// engine.
+	BatchParseBytes Counter
+	// BatchParseFallbacks counts batch-parse tokens the chunked block
+	// scanner declined and routed through the per-value parser (specials,
+	// '#' marks, '@' exponents, ties, out-of-range magnitudes).
+	BatchParseFallbacks Counter
 )
 
 // Snapshot is a coherent-enough copy of every counter: each field is an
@@ -113,6 +125,9 @@ type Snapshot struct {
 	BatchValues, BatchBytes        uint64
 	ParseFastHits, ParseFastMisses uint64
 	ParseExact                     uint64
+
+	BatchParseBlocks, BatchParseValues   uint64
+	BatchParseBytes, BatchParseFallbacks uint64
 }
 
 // Read snapshots all counters.
@@ -132,6 +147,11 @@ func Read() Snapshot {
 		ParseFastHits:   ParseFastHits.Load(),
 		ParseFastMisses: ParseFastMisses.Load(),
 		ParseExact:      ParseExact.Load(),
+
+		BatchParseBlocks:    BatchParseBlocks.Load(),
+		BatchParseValues:    BatchParseValues.Load(),
+		BatchParseBytes:     BatchParseBytes.Load(),
+		BatchParseFallbacks: BatchParseFallbacks.Load(),
 	}
 }
 
@@ -153,6 +173,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		ParseFastHits:   s.ParseFastHits - prev.ParseFastHits,
 		ParseFastMisses: s.ParseFastMisses - prev.ParseFastMisses,
 		ParseExact:      s.ParseExact - prev.ParseExact,
+
+		BatchParseBlocks:    s.BatchParseBlocks - prev.BatchParseBlocks,
+		BatchParseValues:    s.BatchParseValues - prev.BatchParseValues,
+		BatchParseBytes:     s.BatchParseBytes - prev.BatchParseBytes,
+		BatchParseFallbacks: s.BatchParseFallbacks - prev.BatchParseFallbacks,
 	}
 }
 
@@ -163,6 +188,7 @@ func Reset() {
 		&GrisuHits, &GrisuMisses, &RyuHits, &RyuMisses, &GayHits, &GayMisses,
 		&ExactFree, &ExactFixed, &BatchValues, &BatchBytes,
 		&ParseFastHits, &ParseFastMisses, &ParseExact,
+		&BatchParseBlocks, &BatchParseValues, &BatchParseBytes, &BatchParseFallbacks,
 	} {
 		c.n.Store(0)
 	}

@@ -2,7 +2,9 @@
 # End-to-end exercise of the fpserved conversion service: boot on a
 # random port with the debug surface enabled, hit every endpoint, check
 # the 10k-value batch stream byte-for-byte against the fpprint
-# reference, scrape /metrics (including the conversion-trace gauges),
+# reference, round-trip that output through the /v1/batch-parse
+# ingestion engine and back, scrape /metrics (including the
+# conversion-trace and batch-parse gauges),
 # exercise /debug/pprof and /debug/exemplars, verify request ids tie
 # responses to the structured access log, and verify graceful shutdown
 # drains and exits 0 within the drain deadline.
@@ -98,6 +100,20 @@ curl -fsS -X POST --data-binary "@$workdir/input.txt" "$base/v1/batch" >"$workdi
 cmp "$workdir/want.txt" "$workdir/got.txt" || fail "batch output differs from per-value reference"
 [ "$(wc -l <"$workdir/got.txt")" -eq 10000 ] || fail "batch returned $(wc -l <"$workdir/got.txt") lines"
 
+echo "== /v1/batch-parse: round-trip through the ingestion engine =="
+# Parse the batch output (10k shortest renderings) into packed
+# little-endian float64s, then print the packed values back through
+# /v1/batch: a bit-exact parse must reproduce got.txt byte for byte.
+curl -fsS -X POST --data-binary "@$workdir/got.txt" "$base/v1/batch-parse" >"$workdir/parsed.bin"
+[ "$(wc -c <"$workdir/parsed.bin")" -eq 80000 ] || fail "batch-parse returned $(wc -c <"$workdir/parsed.bin") bytes, want 80000"
+curl -fsS -X POST -H 'Content-Type: application/octet-stream' \
+  --data-binary "@$workdir/parsed.bin" "$base/v1/batch" >"$workdir/roundtrip.txt"
+cmp "$workdir/got.txt" "$workdir/roundtrip.txt" || fail "batch-parse round trip is not bit-identical"
+# A malformed token before any output is a mapped 400 with coordinates.
+code="$(printf '1.5\nbogus\n' | curl -s -o "$workdir/badparse.txt" -w '%{http_code}' --data-binary @- "$base/v1/batch-parse")"
+[ "$code" = "400" ] || fail "malformed batch-parse returned HTTP $code, want 400"
+grep -q "record 1" "$workdir/badparse.txt" || fail "batch-parse 400 lacks record coordinates: $(cat "$workdir/badparse.txt")"
+
 echo "== /metrics =="
 curl -fsS "$base/metrics" >"$workdir/metrics.txt"
 batch_values="$(awk '$1 == "floatprint_batch_values_total" { print $2 }' "$workdir/metrics.txt")"
@@ -105,11 +121,25 @@ batch_values="$(awk '$1 == "floatprint_batch_values_total" { print $2 }' "$workd
 [ "$batch_values" -ge 10000 ] || fail "floatprint_batch_values_total = $batch_values, want >= 10000"
 requests="$(awk '$1 == "fpserved_requests_total" { print $2 }' "$workdir/metrics.txt")"
 [ -n "$requests" ] || fail "fpserved_requests_total missing from /metrics"
-# Eleven conversion requests so far (six shortest — including the two
+# Fourteen conversion requests so far (six shortest — including the two
 # backend selections and the rejected backend=bogus, counted at receipt
-# — one fixed, three parse, one batch); /healthz, /metrics, and /debug
-# bypass the instrumented chain and are deliberately not counted.
-[ "$requests" -eq 11 ] || fail "fpserved_requests_total = $requests, want 11"
+# — one fixed, three parse, one batch, two batch-parse, and the
+# round-trip batch); /healthz, /metrics, and /debug bypass the
+# instrumented chain and are deliberately not counted.
+[ "$requests" -eq 14 ] || fail "fpserved_requests_total = $requests, want 14"
+
+echo "== /metrics: batch-parse engine counters =="
+bp_values="$(awk '$1 == "floatprint_batch_parse_values_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$bp_values" ] || fail "floatprint_batch_parse_values_total missing from /metrics"
+[ "$bp_values" -ge 10000 ] || fail "floatprint_batch_parse_values_total = $bp_values, want >= 10000"
+bp_blocks="$(awk '$1 == "floatprint_batch_parse_blocks_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$bp_blocks" ] || fail "floatprint_batch_parse_blocks_total missing from /metrics"
+[ "$bp_blocks" -ge 1 ] || fail "floatprint_batch_parse_blocks_total = $bp_blocks, want >= 1"
+bp_bytes="$(awk '$1 == "floatprint_batch_parse_bytes_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$bp_bytes" ] || fail "floatprint_batch_parse_bytes_total missing from /metrics"
+[ "$bp_bytes" -ge 10000 ] || fail "floatprint_batch_parse_bytes_total = $bp_bytes, want >= 10000"
+grep -q '^floatprint_batch_parse_fallbacks_total' "$workdir/metrics.txt" \
+  || fail "floatprint_batch_parse_fallbacks_total missing from /metrics"
 
 echo "== /metrics: parse path counters =="
 parse_hits="$(awk '$1 == "floatprint_parse_fast_hits_total" { print $2 }' "$workdir/metrics.txt")"

@@ -430,6 +430,95 @@ func (st *batchStream) runBinary(body io.Reader) error {
 	}
 }
 
+// handleBatchParse serves POST /v1/batch-parse: the ingestion inverse
+// of /v1/batch.  Separator-delimited decimal text in (newlines, commas,
+// CR, spaces, tabs — the batch grammar of floatprint.BatchSep), packed
+// little-endian float64s out, in input order, streamed in bounded
+// memory through batch.Pool.ParseAll's block-at-a-time engine.  Every
+// value is bit-identical to floatprint.Parse on the same token, with
+// IEEE range semantics (out-of-range tokens produce ±Inf, not errors).
+//
+// A malformed token before the first output block produces a 400 whose
+// text carries the stream-level record index and byte offset; after
+// output has started the handler aborts the connection, the same
+// honesty contract as /v1/batch.
+func (s *Server) handleBatchParse(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
+	st := &batchStream{s: s, w: w, r: r}
+	pw := &packedWriter{st: st}
+	if _, err := s.pool.ParseAll(r.Context(), body, pw); err != nil {
+		st.fail(err)
+		return
+	}
+	if err := pw.commit(); err != nil {
+		return // the client went away mid-write; nothing left to report
+	}
+	if !st.started {
+		// No values at all: still a committed, well-typed empty response.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+// packedWriter is handleBatchParse's response sink.  ParseAll writes
+// the failing block's parsed prefix before reporting a malformed token,
+// so the first block's bytes are held back until a second block (or a
+// clean finish) proves the stream: a bad token in block one still maps
+// to a located 400, the same first-block buffering /v1/batch gets from
+// its value accumulator, at a bounded cost (8 output bytes per value of
+// one input block).  From the second block on, each write streams with
+// a flush.
+type packedWriter struct {
+	st        *batchStream
+	first     []byte
+	haveFirst bool
+	committed bool
+}
+
+func (pw *packedWriter) Write(p []byte) (int, error) {
+	if !pw.committed && !pw.haveFirst {
+		pw.first = append(pw.first, p...)
+		pw.haveFirst = true
+		return len(p), nil
+	}
+	if err := pw.commit(); err != nil {
+		return 0, err
+	}
+	return pw.send(p)
+}
+
+// commit releases the held first block.  Write calls it when a second
+// block arrives; the handler calls it on clean completion.
+func (pw *packedWriter) commit() error {
+	pw.committed = true
+	if !pw.haveFirst {
+		return nil
+	}
+	pw.haveFirst = false
+	_, err := pw.send(pw.first)
+	pw.first = nil
+	return err
+}
+
+func (pw *packedWriter) send(p []byte) (int, error) {
+	st := pw.st
+	if !st.started {
+		st.w.Header().Set("Content-Type", "application/octet-stream")
+		st.started = true
+	}
+	n, err := st.w.Write(p)
+	if err == nil {
+		if f, ok := st.w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	return n, err
+}
+
 // handleHealthz serves liveness; it bypasses the limiter so health
 // checks keep passing while the service sheds load (shedding is the
 // designed overload behavior, not ill health).

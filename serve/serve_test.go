@@ -269,6 +269,145 @@ func TestBatchBodyCap(t *testing.T) {
 	}
 }
 
+func postBatchParse(t *testing.T, url string, body io.Reader) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch-parse", "text/plain", body)
+	if err != nil {
+		t.Fatalf("POST /v1/batch-parse: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read batch-parse response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestBatchParseRoundTrip is the endpoint's bit-identity contract: the
+// packed little-endian output decodes to exactly the floats whose
+// shortest renderings went in, value for value, in input order.
+func TestBatchParseRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	values := schryer.CorpusN(10000)
+	for i := range values {
+		if i%3 == 1 {
+			values[i] = -values[i]
+		}
+	}
+	code, out := postBatchParse(t, ts.URL, bytes.NewReader(wantNDJSON(values)))
+	if code != http.StatusOK {
+		t.Fatalf("batch-parse = %d, want 200", code)
+	}
+	if len(out) != 8*len(values) {
+		t.Fatalf("got %d output bytes, want %d", len(out), 8*len(values))
+	}
+	for i, v := range values {
+		got := binary.LittleEndian.Uint64(out[8*i:])
+		if got != math.Float64bits(v) {
+			t.Fatalf("value %d: got bits %#x, want %#x (%v)", i, got, math.Float64bits(v), v)
+		}
+	}
+}
+
+// TestBatchParseGrammarAndErrors covers the pre-stream error mapping
+// and the small-response shapes: empty input is a committed empty
+// octet-stream, mixed separators parse as one stream, out-of-range
+// tokens follow IEEE semantics, malformed tokens are located 400s, and
+// non-POST methods are 405.
+func TestBatchParseGrammarAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/v1/batch-parse", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("empty input = %d with %d bytes, want empty 200", resp.StatusCode, len(body))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("empty input Content-Type = %q, want octet-stream", ct)
+	}
+
+	code, out := postBatchParse(t, ts.URL, strings.NewReader("1.5, 2.5\r\n1e999\t-0\n"))
+	if code != http.StatusOK || len(out) != 32 {
+		t.Fatalf("mixed separators = %d with %d bytes, want 200 with 32", code, len(out))
+	}
+	for i, want := range []float64{1.5, 2.5, math.Inf(1), math.Copysign(0, -1)} {
+		if got := binary.LittleEndian.Uint64(out[8*i:]); got != math.Float64bits(want) {
+			t.Fatalf("value %d: got bits %#x, want %v", i, got, want)
+		}
+	}
+
+	code, out = postBatchParse(t, ts.URL, strings.NewReader("1.5\nbogus\n2.5\n"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed token = %d, want 400", code)
+	}
+	if !strings.Contains(string(out), "record 1") || !strings.Contains(string(out), "byte offset 4") {
+		t.Fatalf("malformed-token body %q lacks record/offset coordinates", out)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/batch-parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET batch-parse = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBatchParseAbortAfterStreamStart pins the same honesty contract
+// as /v1/batch: once packed output has started streaming, a malformed
+// token must abort the connection rather than truncate a 200.
+func TestBatchParseAbortAfterStreamStart(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var in bytes.Buffer
+	// The parse engine cuts blocks at 1 MiB of input; two blocks' worth
+	// of good values guarantees output is committed before the garbage.
+	for in.Len() < 2<<20 {
+		in.WriteString("1.5\n2.25\n-3e5\n")
+	}
+	in.WriteString("garbage\n")
+	resp, err := http.Post(ts.URL+"/v1/batch-parse", "text/plain", &in)
+	if err == nil {
+		defer resp.Body.Close()
+		if _, rerr := io.ReadAll(resp.Body); rerr == nil {
+			t.Fatal("mid-stream parse error produced a clean response, want aborted connection")
+		}
+	}
+}
+
+// TestBatchParseBodyCap checks MaxBatchBytes guards the parse side too.
+func TestBatchParseBodyCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchBytes: 64})
+	code, _ := postBatchParse(t, ts.URL, strings.NewReader(strings.Repeat("1.25\n", 1000)))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch-parse = %d, want 413", code)
+	}
+}
+
+// TestBatchParseMetrics checks the new engine counters surface in the
+// /metrics scrape after traffic.
+func TestBatchParseMetrics(t *testing.T) {
+	floatprint.ResetStats()
+	prev := floatprint.SetStatsEnabled(true)
+	defer floatprint.SetStatsEnabled(prev)
+	_, ts := newTestServer(t, Config{})
+	code, _ := postBatchParse(t, ts.URL, strings.NewReader("1.5\n2.5\n3.5\n"))
+	if code != http.StatusOK {
+		t.Fatalf("batch-parse = %d, want 200", code)
+	}
+	_, scrape := get(t, ts.URL+"/metrics")
+	if got := metricValue(t, scrape, "floatprint_batch_parse_values_total"); got != 3 {
+		t.Fatalf("batch_parse_values_total = %d, want 3", got)
+	}
+	if got := metricValue(t, scrape, "floatprint_batch_parse_blocks_total"); got < 1 {
+		t.Fatalf("batch_parse_blocks_total = %d, want >= 1", got)
+	}
+}
+
 // metricValue extracts an unlabeled counter/gauge value from a
 // Prometheus text scrape.
 func metricValue(t *testing.T, scrape, name string) uint64 {

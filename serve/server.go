@@ -32,6 +32,10 @@
 //	                                    float64s with Content-Type
 //	                                    application/octet-stream; responds with
 //	                                    NDJSON shortest renderings, streamed
+//	POST /v1/batch-parse                separator-delimited decimal text in,
+//	                                    packed little-endian float64s out,
+//	                                    streamed through the block-at-a-time
+//	                                    batch parse engine in bounded memory
 //	GET  /healthz
 //	GET  /metrics
 //	GET  /debug/pprof/*      (opt-in: Config.Debug)
@@ -75,7 +79,8 @@ type Config struct {
 	// RetryAfter is the hint returned with shed responses.  Zero
 	// means 1s.
 	RetryAfter time.Duration
-	// MaxBatchBytes caps a /v1/batch request body.  Zero means 1 GiB.
+	// MaxBatchBytes caps a /v1/batch or /v1/batch-parse request body.
+	// Zero means 1 GiB.
 	MaxBatchBytes int64
 	// BatchShards and BatchChunk configure the underlying batch.Pool
 	// (zero means the pool's defaults: GOMAXPROCS shards, 4096-value
@@ -173,6 +178,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/parse", s.limited(http.HandlerFunc(s.handleParse)))
 	mux.Handle("/v1/fixed", s.limited(http.HandlerFunc(s.handleFixed)))
 	mux.Handle("/v1/batch", s.limited(http.HandlerFunc(s.handleBatch)))
+	mux.Handle("/v1/batch-parse", s.limited(http.HandlerFunc(s.handleBatchParse)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.cfg.Debug {

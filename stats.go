@@ -43,6 +43,16 @@ type Stats struct {
 	ParseFastMisses uint64 // fast path attempted, declined to the reader
 	ParseExact      uint64 // parses decided by the exact reader
 
+	// Batch-parse counters (ParseBatch / batch.Pool.ParseAll).  Blocks
+	// counts contiguous byte ranges scanned; Fallbacks counts tokens the
+	// chunked block scanner declined and routed through the per-value
+	// parser (those also advance the ParseFast*/ParseExact counters
+	// above, exactly as a direct Parse call would).
+	BatchParseBlocks    uint64 // contiguous byte ranges scanned
+	BatchParseValues    uint64 // values parsed by the batch engine
+	BatchParseBytes     uint64 // input bytes consumed by the batch engine
+	BatchParseFallbacks uint64 // tokens declined to the per-value parser
+
 	// Conversion-trace aggregates (the algorithm-level telemetry fed by
 	// the tracing subsystem; see Trace).  TraceEstimates and TraceFixups
 	// measure the §3.2 scale estimator on the exact path: the fixup rate
@@ -104,6 +114,11 @@ func (s Stats) Sub(prev Stats) Stats {
 		ParseFastMisses: s.ParseFastMisses - prev.ParseFastMisses,
 		ParseExact:      s.ParseExact - prev.ParseExact,
 
+		BatchParseBlocks:    s.BatchParseBlocks - prev.BatchParseBlocks,
+		BatchParseValues:    s.BatchParseValues - prev.BatchParseValues,
+		BatchParseBytes:     s.BatchParseBytes - prev.BatchParseBytes,
+		BatchParseFallbacks: s.BatchParseFallbacks - prev.BatchParseFallbacks,
+
 		TraceConversions: s.TraceConversions - prev.TraceConversions,
 		TraceEstimates:   s.TraceEstimates - prev.TraceEstimates,
 		TraceFixups:      s.TraceFixups - prev.TraceFixups,
@@ -137,6 +152,14 @@ func (s Stats) String() string {
 	line("batch bytes", s.BatchBytes)
 	rate("parse fast-path", s.ParseFastHits, s.ParseFastMisses)
 	line("exact parses", s.ParseExact)
+	line("batch-parse blocks", s.BatchParseBlocks)
+	line("batch-parse values", s.BatchParseValues)
+	line("batch-parse bytes", s.BatchParseBytes)
+	line("batch-parse fallbacks", s.BatchParseFallbacks)
+	if s.BatchParseValues > 0 {
+		fmt.Fprintf(&sb, "  %-22s %11.4f%%\n", "batch-parse fb rate",
+			100*float64(s.BatchParseFallbacks)/float64(s.BatchParseValues))
+	}
 	if s.TraceConversions > 0 {
 		line("traced conversions", s.TraceConversions)
 		line("scale estimates", s.TraceEstimates)
@@ -179,6 +202,10 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 		{"floatprint_parse_fast_hits_total", "Parses certified by the Eisel-Lemire fast path.", s.ParseFastHits},
 		{"floatprint_parse_fast_misses_total", "Parses where the fast path declined to the exact reader.", s.ParseFastMisses},
 		{"floatprint_parse_exact_total", "Parses decided by the exact big-integer reader.", s.ParseExact},
+		{"floatprint_batch_parse_blocks_total", "Contiguous byte ranges scanned by the batch parse engine.", s.BatchParseBlocks},
+		{"floatprint_batch_parse_values_total", "Values parsed by the batch parse engine.", s.BatchParseValues},
+		{"floatprint_batch_parse_bytes_total", "Input bytes consumed by the batch parse engine.", s.BatchParseBytes},
+		{"floatprint_batch_parse_fallbacks_total", "Batch-parse tokens declined to the per-value parser.", s.BatchParseFallbacks},
 		{"floatprint_trace_conversions_total", "Conversions folded into the trace aggregate.", s.TraceConversions},
 		{"floatprint_trace_estimates_total", "Exact conversions that ran the scale estimator.", s.TraceEstimates},
 		{"floatprint_trace_fixups_total", "Scale estimates one low, corrected by the fixup loop.", s.TraceFixups},
@@ -209,5 +236,10 @@ func fromSnap(s stats.Snapshot) Stats {
 		ParseFastHits:   s.ParseFastHits,
 		ParseFastMisses: s.ParseFastMisses,
 		ParseExact:      s.ParseExact,
+
+		BatchParseBlocks:    s.BatchParseBlocks,
+		BatchParseValues:    s.BatchParseValues,
+		BatchParseBytes:     s.BatchParseBytes,
+		BatchParseFallbacks: s.BatchParseFallbacks,
 	}
 }

@@ -112,6 +112,8 @@ func TestStatsWritePrometheus(t *testing.T) {
 		ExactFree: 25, ExactFixed: 30,
 		BatchValues: 1000, BatchBytes: 17500,
 		ParseFastHits: 970, ParseFastMisses: 30, ParseExact: 45,
+		BatchParseBlocks: 12, BatchParseValues: 5000,
+		BatchParseBytes: 90000, BatchParseFallbacks: 7,
 		TraceConversions: 1050, TraceEstimates: 55, TraceFixups: 17,
 		TraceIterations: 16000, TraceDigits: 15800, TraceRoundUps: 500,
 	}
@@ -158,6 +160,18 @@ floatprint_parse_fast_misses_total 30
 # HELP floatprint_parse_exact_total Parses decided by the exact big-integer reader.
 # TYPE floatprint_parse_exact_total counter
 floatprint_parse_exact_total 45
+# HELP floatprint_batch_parse_blocks_total Contiguous byte ranges scanned by the batch parse engine.
+# TYPE floatprint_batch_parse_blocks_total counter
+floatprint_batch_parse_blocks_total 12
+# HELP floatprint_batch_parse_values_total Values parsed by the batch parse engine.
+# TYPE floatprint_batch_parse_values_total counter
+floatprint_batch_parse_values_total 5000
+# HELP floatprint_batch_parse_bytes_total Input bytes consumed by the batch parse engine.
+# TYPE floatprint_batch_parse_bytes_total counter
+floatprint_batch_parse_bytes_total 90000
+# HELP floatprint_batch_parse_fallbacks_total Batch-parse tokens declined to the per-value parser.
+# TYPE floatprint_batch_parse_fallbacks_total counter
+floatprint_batch_parse_fallbacks_total 7
 # HELP floatprint_trace_conversions_total Conversions folded into the trace aggregate.
 # TYPE floatprint_trace_conversions_total counter
 floatprint_trace_conversions_total 1050
