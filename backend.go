@@ -44,6 +44,12 @@ func shortestFastpath64(o Options) trace.Backend {
 	if o.Base != 10 || o.Scaling != ScalingEstimate {
 		return trace.BackendNone
 	}
+	if o.Reader.directed() {
+		// The directed reader modes print one-sided half-gap output
+		// through Floor/CeilFormat; neither nearest-range fast backend's
+		// correctness proof covers that, so only the exact core applies.
+		return trace.BackendNone
+	}
 	switch o.Backend {
 	case BackendAuto:
 		if o.Reader == ReaderNearestEven {

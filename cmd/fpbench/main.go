@@ -13,6 +13,10 @@
 //	                     verification (-parse-floor N fails below N MB/s)
 //	fpbench -parse       read side: fast-path Parse vs the exact reader,
 //	                     with byte-identity verification and fallback rate
+//	fpbench -interval    interval I/O: outward-rounded print and
+//	                     enclosure-guaranteed parse throughput in
+//	                     intervals/s, with corpus-wide enclosure
+//	                     verification
 //	fpbench -shootout    backend head-to-head: grisu vs ryu vs exact vs
 //	                     strconv over the corpus, with decline rates and
 //	                     byte-identity verification
@@ -54,13 +58,14 @@ func main() {
 	batchParseF := flag.Bool("batchparse", false, "batch-parse ingestion throughput in MB/s: block engine vs per-value Parse vs strconv")
 	parseFloor := flag.Float64("parse-floor", 0, "with -batchparse: fail unless the block engine sustains this many MB/s")
 	parseF := flag.Bool("parse", false, "fast-path Parse vs exact reader, with fallback rate")
+	intervalF := flag.Bool("interval", false, "interval print/parse throughput with enclosure verification")
 	shootout := flag.Bool("shootout", false, "backend head-to-head: grisu vs ryu vs exact vs strconv")
 	all := flag.Bool("all", false, "run every experiment")
 	n := flag.Int("n", schryer.CorpusSize, "corpus size (max 250680)")
 	jsonOut := flag.String("json", "", "write results as a BENCH JSON artifact to this path (\"-\" for stdout)")
 	flag.Parse()
 
-	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel && !*batchF && !*batchParseF && !*parseF && !*shootout {
+	if !*all && *table == 0 && !*stats && !*ablation && !*successors && !*parallel && !*batchF && !*batchParseF && !*parseF && !*intervalF && !*shootout {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -109,6 +114,11 @@ func main() {
 	}
 	if *all || *parseF {
 		if err := runParse(corpus, art); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *intervalF {
+		if err := runInterval(corpus, art); err != nil {
 			fatal(err)
 		}
 	}
@@ -309,6 +319,30 @@ func runParse(corpus []float64, art *harness.Artifact) error {
 		fallback, delta.ParseFastMisses, attempts)
 	record(art, "Parse/fast", fastNs, map[string][]float64{"fallback-pct": {fallback}})
 	record(art, "Parse/exact", exactNs, nil)
+	fmt.Println()
+	return nil
+}
+
+// runInterval measures the interval workload — outward-rounded printing
+// and enclosure-guaranteed reading of degenerate corpus intervals — in
+// intervals per second, after verifying the enclosure contract over the
+// whole corpus (each endpoint may widen at most one ulp outward through
+// a print/parse round trip, never inward).
+func runInterval(corpus []float64, art *harness.Artifact) error {
+	fmt.Println("== Interval I/O: outward print / enclosure parse throughput ==")
+	if err := harness.VerifyInterval(corpus); err != nil {
+		return err
+	}
+	fmt.Printf("verified: Parse(print([x,x])) encloses within one ulp per side over %d values\n", len(corpus))
+	rows, err := harness.RunInterval(corpus)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderInterval(rows, len(corpus)))
+	for _, r := range rows {
+		record(art, "Interval/"+slug(r.Name), nsPerValue(r.Elapsed, len(corpus)),
+			map[string][]float64{"intervals/s": {r.IntervalsPerSec}})
+	}
 	fmt.Println()
 	return nil
 }

@@ -1,14 +1,18 @@
 // Command fpserved runs the floatprint conversion service: shortest
 // and fixed-format conversion of single values, number parsing through
-// the certified fast-path reader, streaming batch conversion over the
-// sharded pool, bulk ingestion through the block-at-a-time batch parse
-// engine (text in, packed little-endian float64 out), and Prometheus
-// metrics, with explicit load-shedding at a configurable in-flight cap.
+// the certified fast-path reader, outward-rounded interval printing and
+// enclosure-guaranteed interval reading, streaming batch conversion
+// over the sharded pool, bulk ingestion through the block-at-a-time
+// batch parse engine (text in, packed little-endian float64 out), and
+// Prometheus metrics, with explicit load-shedding at a configurable
+// in-flight cap.
 //
 //	fpserved -addr :8080 -inflight 64
 //
 //	curl 'localhost:8080/v1/shortest?v=1e23'
 //	curl 'localhost:8080/v1/parse?s=1.25e-3'
+//	curl 'localhost:8080/v1/interval?lo=0.1&hi=0.3'
+//	curl 'localhost:8080/v1/interval?s=%5B0.1,0.3%5D'
 //	curl 'localhost:8080/v1/fixed?v=3.14159&n=3'
 //	seq 1 10000 | awk '{print $1 * 0.1}' | curl -s --data-binary @- localhost:8080/v1/batch
 //	seq 1 10000 | awk '{print $1 * 0.1}' | curl -s --data-binary @- localhost:8080/v1/batch-parse >packed.bin

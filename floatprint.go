@@ -111,6 +111,23 @@ func shortestValueTraced(val fpformat.Value, o Options, tr *Trace) (Digits, erro
 		traceSpecial(tr, o.Base)
 		return d, nil
 	}
+	if o.Reader.directed() {
+		// A toward-negative reader truncates every inexact value, so only
+		// a string in [v, v+m⁺) reads back as v: print the upper one-sided
+		// bound (and the mirror for toward-positive).  The one-sided loops
+		// run in the exact core only; no fast backend covers them.
+		d, err := directedValue(val, o, o.Reader == ReaderTowardNegInf)
+		if err == nil && tr != nil {
+			tr.Reset()
+			tr.Backend = TraceBackendExactFree
+			tr.Base = o.Base
+			tr.Mode = o.Reader.String()
+			tr.K = d.K
+			tr.Digits = len(d.Digits)
+			tr.NSig = d.NSig
+		}
+		return d, err
+	}
 	// Fast-path dispatch through the backend registry (see backend.go):
 	// Ryū for base-10 nearest-even binary64 requests, certified Grisu3
 	// for the other reader modes (its certificate is valid under all

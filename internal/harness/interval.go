@@ -1,0 +1,138 @@
+// The interval-I/O experiment: throughput of outward-rounded interval
+// printing and enclosure-guaranteed interval reading, the served
+// workload behind /v1/interval.  Each corpus value x becomes the
+// degenerate interval [x, x] — the hardest case, since both endpoints
+// need a one-sided conversion of the same float and any slack in either
+// direction shows up as widening — and the verification pass checks the
+// enclosure contract end to end.
+
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"floatprint/interval"
+)
+
+// IntervalRow is one direction's measurement over the corpus.
+type IntervalRow struct {
+	Name            string
+	Elapsed         time.Duration // best of batchRuns passes
+	IntervalsPerSec float64
+}
+
+// IntervalTexts renders every corpus value as degenerate interval text,
+// the parse direction's input.
+func IntervalTexts(corpus []float64) ([]string, error) {
+	texts := make([]string, len(corpus))
+	buf := make([]byte, 0, 64)
+	for i, x := range corpus {
+		var err error
+		buf, err = interval.AppendShortest(buf[:0], interval.Interval{Lo: x, Hi: x}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("interval print %x: %w", x, err)
+		}
+		texts[i] = string(buf)
+	}
+	return texts, nil
+}
+
+// RunInterval measures interval print and parse throughput over the
+// corpus, each as the best of batchRuns passes.
+func RunInterval(corpus []float64) ([]IntervalRow, error) {
+	texts, err := IntervalTexts(corpus)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]IntervalRow, 0, 2)
+
+	row, err := timeInterval("print (AppendShortest)", len(corpus), func() error {
+		buf := make([]byte, 0, 64)
+		for _, x := range corpus {
+			var err error
+			buf, err = interval.AppendShortest(buf[:0], interval.Interval{Lo: x, Hi: x}, nil)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+
+	row, err = timeInterval("parse (outward read)", len(texts), func() error {
+		for _, s := range texts {
+			if _, err := interval.Parse(s, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, row), nil
+}
+
+func timeInterval(name string, n int, pass func() error) (IntervalRow, error) {
+	var best time.Duration
+	for run := 0; run < batchRuns; run++ {
+		start := time.Now()
+		if err := pass(); err != nil {
+			return IntervalRow{}, fmt.Errorf("%s: %w", name, err)
+		}
+		if elapsed := time.Since(start); best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return IntervalRow{
+		Name:            name,
+		Elapsed:         best,
+		IntervalsPerSec: float64(n) / best.Seconds(),
+	}, nil
+}
+
+// RenderInterval formats the interval throughput table.
+func RenderInterval(rows []IntervalRow, values int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "degenerate intervals over %d corpus values (best of %d passes per row)\n",
+		values, batchRuns)
+	fmt.Fprintf(&sb, "%-28s %12s %14s\n", "Direction", "time", "intervals/s")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-28s %12s %14.0f\n",
+			r.Name, r.Elapsed.Round(time.Microsecond), r.IntervalsPerSec)
+	}
+	return sb.String()
+}
+
+// VerifyInterval checks the acceptance invariant behind the table: for
+// every corpus value, Parse(print([x, x])) encloses [x, x] and widens by
+// at most one ulp per endpoint.
+func VerifyInterval(corpus []float64) error {
+	buf := make([]byte, 0, 64)
+	for _, x := range corpus {
+		iv := interval.Interval{Lo: x, Hi: x}
+		var err error
+		buf, err = interval.AppendShortest(buf[:0], iv, nil)
+		if err != nil {
+			return err
+		}
+		got, err := interval.Parse(string(buf), nil)
+		if err != nil {
+			return fmt.Errorf("interval parse %q: %w", buf, err)
+		}
+		if !got.Encloses(iv) {
+			return fmt.Errorf("enclosure violated: Parse(%q) = [%x,%x] for x=%x", buf, got.Lo, got.Hi, x)
+		}
+		if (got.Lo != x && math.Nextafter(got.Lo, math.Inf(1)) != x) ||
+			(got.Hi != x && math.Nextafter(got.Hi, math.Inf(-1)) != x) {
+			return fmt.Errorf("widened beyond one ulp: Parse(%q) = [%x,%x] for x=%x", buf, got.Lo, got.Hi, x)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package reader
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"floatprint/internal/fpformat"
+)
+
+// convert64 parses s in base 10 and converts under mode, returning the
+// float64 and the conversion error (range errors carry a value).
+func convert64(t *testing.T, s string, mode RoundMode) (float64, error) {
+	t.Helper()
+	n, err := ParseText(s, 10)
+	if err != nil {
+		t.Fatalf("ParseText(%q): %v", s, err)
+	}
+	v, cerr := Convert(n, fpformat.Binary64, mode)
+	f, err := v.Float64()
+	if err != nil {
+		t.Fatalf("Float64 of Convert(%q, %v): %v", s, mode, err)
+	}
+	return f, cerr
+}
+
+// TestDirectedRounding pins the two directed modes on inexact values:
+// the result is the representable neighbor on the requested side of the
+// exact decimal value.
+func TestDirectedRounding(t *testing.T) {
+	down := math.Nextafter // toward the first argument's lower neighbor
+	cases := []struct {
+		in       string
+		neg, pos float64
+	}{
+		// Decimal 0.1 lies below float64(0.1); decimal 0.3 lies above
+		// float64(0.3).  The directed results straddle accordingly.
+		{"0.1", down(0.1, math.Inf(-1)), 0.1},
+		{"0.3", 0.3, down(0.3, math.Inf(1))},
+		{"-0.1", -0.1, -down(0.1, math.Inf(-1))},
+		{"-0.3", -down(0.3, math.Inf(1)), -0.3},
+		// Exactly representable values are fixed points of every mode.
+		{"0.5", 0.5, 0.5},
+		{"-0.25", -0.25, -0.25},
+		{"1e22", 1e22, 1e22},
+		{"123456789", 123456789, 123456789},
+		// 2^53+1 needs 54 bits: neighbors are 2^53 and 2^53+2.
+		{"9007199254740993", 9007199254740992, 9007199254740994},
+	}
+	for _, c := range cases {
+		if got, err := convert64(t, c.in, TowardNegInf); err != nil || got != c.neg {
+			t.Errorf("Convert(%q, TowardNegInf) = %v, %v; want %v", c.in, got, err, c.neg)
+		}
+		if got, err := convert64(t, c.in, TowardPosInf); err != nil || got != c.pos {
+			t.Errorf("Convert(%q, TowardPosInf) = %v, %v; want %v", c.in, got, err, c.pos)
+		}
+	}
+}
+
+// TestDirectedSignedZero pins the signed-zero contract: zero inputs keep
+// their sign under every mode, and a nonzero magnitude rounding toward
+// zero underflows to the zero of its own sign — it must not jump the
+// origin.
+func TestDirectedSignedZero(t *testing.T) {
+	modes := []RoundMode{NearestEven, NearestAway, NearestTowardZero, TowardNegInf, TowardPosInf}
+	for _, m := range modes {
+		for _, in := range []string{"0", "0.000", "0e99"} {
+			if f, err := convert64(t, in, m); err != nil || f != 0 || math.Signbit(f) {
+				t.Errorf("Convert(%q, %v) = %v, %v; want +0", in, f, err, m)
+			}
+		}
+		for _, in := range []string{"-0", "-0.000", "-0e99"} {
+			if f, err := convert64(t, in, m); err != nil || f != 0 || !math.Signbit(f) {
+				t.Errorf("Convert(%q, %v) = %v, %v; want -0", in, f, err, m)
+			}
+		}
+	}
+	// Tiny magnitudes truncating toward zero: +tiny under TowardNegInf is
+	// +0, -tiny under TowardPosInf is -0.  Both the O(1) magnitude
+	// pre-check ("1e-999") and the exact rational path ("2e-324", which is
+	// below half the smallest denormal but within its decimal exponent
+	// range) must agree.
+	for _, in := range []string{"1e-999", "2e-324"} {
+		if f, err := convert64(t, in, TowardNegInf); err != nil || f != 0 || math.Signbit(f) {
+			t.Errorf("Convert(%q, TowardNegInf) = %v, %v; want +0", in, f, err)
+		}
+		if f, err := convert64(t, "-"+in, TowardPosInf); err != nil || f != 0 || !math.Signbit(f) {
+			t.Errorf("Convert(-%q, TowardPosInf) = %v, %v; want -0", in, f, err)
+		}
+	}
+}
+
+// TestDirectedSubnormalFrontier pins behavior around the smallest
+// denormal d = 4.94…e-324: any nonzero magnitude rounding outward stops
+// at ±d (IEEE gradual underflow has no smaller nonzero value), with no
+// range error.
+func TestDirectedSubnormalFrontier(t *testing.T) {
+	d := math.SmallestNonzeroFloat64
+	cases := []struct {
+		in   string
+		mode RoundMode
+		want float64
+	}{
+		// Magnitude pre-check path (decimal exponent far below range).
+		{"1e-999", TowardPosInf, d},
+		{"-1e-999", TowardNegInf, -d},
+		// Exact rational path, below and above half of d.
+		{"2e-324", TowardPosInf, d},
+		{"3e-324", TowardPosInf, d},
+		{"-2e-324", TowardNegInf, -d},
+		// Between d and 2d: directed modes pick the two denormal
+		// neighbors, nearest picks the closer (5e-324 is nearer d).
+		{"5e-324", TowardNegInf, d},
+		{"5e-324", TowardPosInf, 2 * d},
+		{"5e-324", NearestEven, d},
+	}
+	for _, c := range cases {
+		if got, err := convert64(t, c.in, c.mode); err != nil || got != c.want {
+			t.Errorf("Convert(%q, %v) = %g, %v; want %g", c.in, c.mode, got, err, c.want)
+		}
+	}
+}
+
+// TestDirectedOverflow pins the IEEE §4.3.2 overflow contract: rounding
+// in the truncating direction saturates at the largest finite value,
+// rounding outward produces the infinity; both report ErrRange.
+func TestDirectedOverflow(t *testing.T) {
+	maxF := math.MaxFloat64
+	cases := []struct {
+		in   string
+		mode RoundMode
+		want float64
+	}{
+		{"1e999", TowardNegInf, maxF},
+		{"1e999", TowardPosInf, math.Inf(1)},
+		{"-1e999", TowardNegInf, math.Inf(-1)},
+		{"-1e999", TowardPosInf, -maxF},
+		{"1e999", NearestEven, math.Inf(1)},
+		// Just past the largest finite value (max + 1 ulp is ~1.79769e308;
+		// this is between max and the overflow midpoint, exercising the
+		// exact rational path rather than the magnitude pre-check).
+		{"1.7976931348623159e308", TowardNegInf, maxF},
+		{"1.7976931348623159e308", TowardPosInf, math.Inf(1)},
+		{"-1.7976931348623159e308", TowardPosInf, -maxF},
+	}
+	for _, c := range cases {
+		got, err := convert64(t, c.in, c.mode)
+		if got != c.want || err == nil || !strings.Contains(err.Error(), "range") {
+			t.Errorf("Convert(%q, %v) = %g, %v; want %g with range error", c.in, c.mode, got, err, c.want)
+		}
+	}
+}
+
+// TestDirectedAgainstBigFloat cross-checks the directed modes against
+// math/big's correctly-rounded directed parsing on random inputs kept
+// well inside the normal range (big.Float knows nothing of gradual
+// underflow or float64 saturation).
+func TestDirectedAgainstBigFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		var sb strings.Builder
+		if r.Intn(2) == 0 {
+			sb.WriteByte('-')
+		}
+		sb.WriteByte(byte('1' + r.Intn(9)))
+		for j := r.Intn(24); j > 0; j-- {
+			sb.WriteByte(byte('0' + r.Intn(10)))
+		}
+		sb.WriteByte('.')
+		for j := 1 + r.Intn(12); j > 0; j-- {
+			sb.WriteByte(byte('0' + r.Intn(10)))
+		}
+		sb.WriteString("e")
+		sb.WriteString(strconv.Itoa(r.Intn(560) - 280))
+		s := sb.String()
+
+		for mode, bigMode := range map[RoundMode]big.RoundingMode{
+			TowardNegInf: big.ToNegativeInf,
+			TowardPosInf: big.ToPositiveInf,
+		} {
+			want, _, err := big.ParseFloat(s, 10, 53, bigMode)
+			if err != nil {
+				t.Fatalf("big.ParseFloat(%q): %v", s, err)
+			}
+			wf, acc := want.Float64()
+			if acc != big.Exact {
+				t.Fatalf("oracle for %q not exact at 53 bits", s)
+			}
+			if got, cerr := convert64(t, s, mode); cerr != nil || got != wf {
+				t.Fatalf("Convert(%q, %v) = %v (err %v), big wants %v", s, mode, got, cerr, wf)
+			}
+		}
+	}
+}
+
+// TestDirectedBracketsNearest checks the ordering invariant on random
+// inputs: down ≤ nearest ≤ up, the directed results are at most one ulp
+// apart, and they coincide exactly when the input is exactly
+// representable (in which case all modes agree).
+func TestDirectedBracketsNearest(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 4000; i++ {
+		var sb strings.Builder
+		for j := 1 + r.Intn(20); j > 0; j-- {
+			sb.WriteByte(byte('0' + r.Intn(10)))
+		}
+		sb.WriteString("e")
+		sb.WriteString(strconv.Itoa(r.Intn(600) - 320))
+		s := sb.String()
+
+		lo, _ := convert64(t, s, TowardNegInf)
+		hi, _ := convert64(t, s, TowardPosInf)
+		mid, _ := convert64(t, s, NearestEven)
+		if !(lo <= mid && mid <= hi) {
+			t.Fatalf("%q: ordering violated: down %v, nearest %v, up %v", s, lo, mid, hi)
+		}
+		if lo != hi && math.Nextafter(lo, math.Inf(1)) != hi {
+			t.Fatalf("%q: directed results more than one ulp apart: %v .. %v", s, lo, hi)
+		}
+	}
+}

@@ -30,10 +30,16 @@ import (
 	"floatprint/internal/fpformat"
 )
 
-// RoundMode selects how a value exactly halfway between two representable
-// numbers is rounded.  The names correspond to the printer's ReaderMode
-// values: a printer told the reader uses mode M is only honest if the
-// reader really does.
+// RoundMode selects how an inexact value — one that falls between two
+// representable numbers — is rounded.  The three nearest modes differ only
+// on exact halfway ties; the two directed modes move every inexact value
+// toward the named infinity (IEEE 754 roundTowardNegative and
+// roundTowardPositive), which is what interval endpoints need: a lower
+// bound read under TowardNegInf can only move down, an upper bound read
+// under TowardPosInf can only move up, so the machine interval always
+// encloses the written one.  The nearest names correspond to the printer's
+// ReaderMode values: a printer told the reader uses mode M is only honest
+// if the reader really does.
 type RoundMode int
 
 const (
@@ -44,6 +50,14 @@ const (
 	NearestAway
 	// NearestTowardZero rounds ties toward zero.
 	NearestTowardZero
+	// TowardNegInf rounds every inexact value toward −∞ (IEEE 754
+	// roundTowardNegative): positive magnitudes truncate, negative ones
+	// grow.  Positive overflow saturates at the largest finite value,
+	// negative overflow goes to −Inf.
+	TowardNegInf
+	// TowardPosInf rounds every inexact value toward +∞ (IEEE 754
+	// roundTowardPositive), the mirror image of TowardNegInf.
+	TowardPosInf
 )
 
 func (m RoundMode) String() string {
@@ -54,13 +68,58 @@ func (m RoundMode) String() string {
 		return "nearest-away"
 	case NearestTowardZero:
 		return "nearest-toward-zero"
+	case TowardNegInf:
+		return "toward-neg-inf"
+	case TowardPosInf:
+		return "toward-pos-inf"
 	}
 	return fmt.Sprintf("RoundMode(%d)", int(m))
 }
 
-// ErrRange reports that a parsed value overflows the target format; the
-// returned value is ±Inf as IEEE prescribes.
+// directed reports whether m is one of the two directed modes.
+func directed(m RoundMode) bool { return m == TowardNegInf || m == TowardPosInf }
+
+// magnitudeUp reports whether mode rounds an inexact value of the given
+// sign away from zero in magnitude: TowardPosInf pushes positive values up
+// and TowardNegInf pushes negative values down, both of which grow |v|.
+// The nearest modes answer false; their ties are resolved in roundQuotient.
+func magnitudeUp(mode RoundMode, neg bool) bool {
+	return (mode == TowardPosInf && !neg) || (mode == TowardNegInf && neg)
+}
+
+// ErrRange reports that a parsed value overflows the target format.  Under
+// the nearest modes (and the directed mode pointing past the overflow) the
+// returned value is ±Inf as IEEE prescribes; under the directed mode
+// pointing back toward zero it is the largest finite value of the format
+// (IEEE 754 §4.3.2: roundTowardNegative carries positive overflow to the
+// most positive finite number, not to +Inf), still with ErrRange so
+// callers can observe the saturation.
 var ErrRange = errors.New("reader: value out of range")
+
+// maxFinite is the largest finite value of f: (b^p − 1) × b^MaxExp, where
+// the truncating directed modes saturate on overflow.
+func maxFinite(f *fpformat.Format, neg bool) fpformat.Value {
+	m := bignat.SubWord(bignat.PowUint(uint64(f.Base), uint(f.Precision)), 1)
+	return fpformat.Value{Fmt: f, Class: fpformat.Normal, Neg: neg, F: m, E: f.MaxExp}
+}
+
+// minDenormal is the smallest positive value of f, 1 × b^MinExp.  The
+// magnitude-growing directed modes land here instead of underflowing to
+// zero: a nonzero value must never round below its own magnitude when the
+// mode pushes outward, or interval enclosure would break at the origin.
+func minDenormal(f *fpformat.Format, neg bool) fpformat.Value {
+	return fpformat.Value{Fmt: f, Class: fpformat.Denormal, Neg: neg, F: bignat.Nat{1}, E: f.MinExp}
+}
+
+// overflow resolves a magnitude above the finite range of f: ±Inf for the
+// nearest modes and the outward-pointing directed mode, the largest finite
+// value for the truncating one.  Either way the result is out of range.
+func overflow(f *fpformat.Format, neg bool, mode RoundMode) (fpformat.Value, error) {
+	if directed(mode) && !magnitudeUp(mode, neg) {
+		return maxFinite(f, neg), ErrRange
+	}
+	return fpformat.Value{Fmt: f, Class: fpformat.Inf, Neg: neg}, ErrRange
+}
 
 // Number is an unrounded textual number: ±0.d₁…dₙ × Bᴷ, mirroring the
 // printer's Result so printed output can be fed straight back in.
@@ -71,9 +130,14 @@ type Number struct {
 	K      int
 }
 
-// Convert rounds the exact rational value of n to the nearest value of
-// format f under the given rounding mode.  Overflow returns ±Inf and
-// ErrRange; underflow rounds through the denormal range to ±0.
+// Convert rounds the exact rational value of n to the value of format f
+// prescribed by the rounding mode: the nearest representable value under
+// the three nearest modes, the nearest value in the rounding direction
+// under the two directed modes.  Overflow returns ErrRange alongside ±Inf
+// or, for the directed mode truncating that sign, the largest finite
+// value; underflow rounds through the denormal range to ±0, except that a
+// directed mode pushing a nonzero magnitude outward stops at the smallest
+// denormal rather than crossing zero.
 func Convert(n Number, f *fpformat.Format, mode RoundMode) (fpformat.Value, error) {
 	if n.Base < 2 || n.Base > 36 {
 		return fpformat.Value{}, fmt.Errorf("reader: base %d out of range [2,36]", n.Base)
@@ -106,11 +170,17 @@ func Convert(n Number, f *fpformat.Format, mode RoundMode) (fpformat.Value, erro
 	log2Lo := float64(d.BitLen()-1) + float64(exp)*log2In // <= log2(value)
 	log2Hi := float64(d.BitLen()) + float64(exp)*log2In   // >= log2(value)
 	if log2Lo > float64(f.MaxExp+f.Precision)*log2Out+16 {
-		return fpformat.Value{Fmt: f, Class: fpformat.Inf, Neg: n.Neg}, ErrRange
+		return overflow(f, n.Neg, mode)
 	}
 	if log2Hi < float64(f.MinExp)*log2Out-16 {
 		// Below half the smallest denormal by a wide margin: every
-		// rounding mode takes it to zero, as roundRational would.
+		// nearest mode takes it to zero, as roundRational would.  An
+		// outward-pointing directed mode instead lands on the smallest
+		// denormal, exactly as the exact path does for any nonzero
+		// magnitude that floors to zero.
+		if magnitudeUp(mode, n.Neg) {
+			return minDenormal(f, n.Neg), nil
+		}
 		return fpformat.Value{Fmt: f, Class: fpformat.Zero, Neg: n.Neg}, nil
 	}
 
@@ -124,7 +194,9 @@ func Convert(n Number, f *fpformat.Format, mode RoundMode) (fpformat.Value, erro
 	return roundRational(num, den, n.Neg, f, mode)
 }
 
-// roundRational returns the value of format f nearest num/den (> 0).
+// roundRational returns the value of format f that num/den (> 0) rounds
+// to under mode; neg carries the sign, which the directed modes need to
+// orient their magnitude rounding.
 func roundRational(num, den bignat.Nat, neg bool, f *fpformat.Format, mode RoundMode) (fpformat.Value, error) {
 	b := uint64(f.Base)
 	// Estimate e with floor(log_b(x)) − (p−1) from the bit lengths, then
@@ -153,7 +225,7 @@ func roundRational(num, den bignat.Nat, neg bool, f *fpformat.Format, mode Round
 			// Floor at or above b^p: grain too fine, raise e.
 			e++
 			if e > f.MaxExp {
-				return fpformat.Value{Fmt: f, Class: fpformat.Inf, Neg: neg}, ErrRange
+				return overflow(f, neg, mode)
 			}
 			continue
 		}
@@ -163,7 +235,7 @@ func roundRational(num, den bignat.Nat, neg bool, f *fpformat.Format, mode Round
 			continue
 		}
 
-		m := roundQuotient(q, rem, sDen, mode)
+		m := roundQuotient(q, rem, sDen, mode, neg)
 		if bignat.Cmp(m, hi) >= 0 {
 			// Rounding carried into the next binade: the value is exactly
 			// bᵖ·bᵉ = b^(p−1)·b^(e+1).
@@ -171,11 +243,20 @@ func roundRational(num, den bignat.Nat, neg bool, f *fpformat.Format, mode Round
 			e++
 		}
 		if m.IsZero() {
-			// Underflow to zero (only possible at e == MinExp).
+			// Underflow to zero (only possible at e == MinExp, and never
+			// under an outward-pointing directed mode, whose roundQuotient
+			// lifts any nonzero remainder to at least 1).
 			return fpformat.Value{Fmt: f, Class: fpformat.Zero, Neg: neg}, nil
 		}
 		if e > f.MaxExp {
-			return fpformat.Value{Fmt: f, Class: fpformat.Inf, Neg: neg}, ErrRange
+			return overflow(f, neg, mode)
+		}
+		if e == f.MaxExp && !rem.IsZero() && directed(mode) && !magnitudeUp(mode, neg) &&
+			bignat.Cmp(bignat.AddWord(m, 1), hi) == 0 {
+			// IEEE signals overflow from the unbounded-exponent result: a
+			// value strictly above the largest finite number truncates onto
+			// it under an inward directed mode, but still overflows.
+			return overflow(f, neg, mode)
 		}
 		class := fpformat.Normal
 		if bignat.Cmp(m, lo) < 0 {
@@ -185,9 +266,19 @@ func roundRational(num, den bignat.Nat, neg bool, f *fpformat.Format, mode Round
 	}
 }
 
-// roundQuotient rounds q + rem/den to an integer under mode.
-func roundQuotient(q, rem, den bignat.Nat, mode RoundMode) bignat.Nat {
+// roundQuotient rounds q + rem/den to an integer under mode; neg is the
+// sign of the value, which orients the directed modes.
+func roundQuotient(q, rem, den bignat.Nat, mode RoundMode, neg bool) bignat.Nat {
 	if rem.IsZero() {
+		return q
+	}
+	if directed(mode) {
+		// Directed rounding has no ties: any nonzero remainder moves away
+		// from zero when the mode points outward for this sign, and
+		// truncates otherwise.
+		if magnitudeUp(mode, neg) {
+			return bignat.AddWord(q, 1)
+		}
 		return q
 	}
 	switch bignat.Cmp(bignat.Shl(rem, 1), den) {

@@ -112,6 +112,14 @@ var (
 	// scanner declined and routed through the per-value parser (specials,
 	// '#' marks, '@' exponents, ties, out-of-range magnitudes).
 	BatchParseFallbacks Counter
+	// IntervalPrints counts intervals formatted by the interval package
+	// (one per [lo,hi] pair, not per endpoint; the endpoints' exact
+	// conversions also appear in ExactFree).
+	IntervalPrints Counter
+	// IntervalParses counts intervals read by the interval package (one
+	// per [lo,hi] text; the endpoints' exact conversions also appear in
+	// ParseExact).
+	IntervalParses Counter
 )
 
 // Snapshot is a coherent-enough copy of every counter: each field is an
@@ -128,6 +136,8 @@ type Snapshot struct {
 
 	BatchParseBlocks, BatchParseValues   uint64
 	BatchParseBytes, BatchParseFallbacks uint64
+
+	IntervalPrints, IntervalParses uint64
 }
 
 // Read snapshots all counters.
@@ -152,6 +162,9 @@ func Read() Snapshot {
 		BatchParseValues:    BatchParseValues.Load(),
 		BatchParseBytes:     BatchParseBytes.Load(),
 		BatchParseFallbacks: BatchParseFallbacks.Load(),
+
+		IntervalPrints: IntervalPrints.Load(),
+		IntervalParses: IntervalParses.Load(),
 	}
 }
 
@@ -178,6 +191,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		BatchParseValues:    s.BatchParseValues - prev.BatchParseValues,
 		BatchParseBytes:     s.BatchParseBytes - prev.BatchParseBytes,
 		BatchParseFallbacks: s.BatchParseFallbacks - prev.BatchParseFallbacks,
+
+		IntervalPrints: s.IntervalPrints - prev.IntervalPrints,
+		IntervalParses: s.IntervalParses - prev.IntervalParses,
 	}
 }
 
@@ -189,6 +205,7 @@ func Reset() {
 		&ExactFree, &ExactFixed, &BatchValues, &BatchBytes,
 		&ParseFastHits, &ParseFastMisses, &ParseExact,
 		&BatchParseBlocks, &BatchParseValues, &BatchParseBytes, &BatchParseFallbacks,
+		&IntervalPrints, &IntervalParses,
 	} {
 		c.n.Store(0)
 	}

@@ -1,0 +1,230 @@
+package interval
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"floatprint"
+	"floatprint/internal/fpformat"
+	"floatprint/internal/reader"
+	"floatprint/internal/schryer"
+)
+
+// exactAbove reports whether the exact decimal value 0.digits × 10^k
+// (positive) is strictly greater than x, and exactBelow whether it is
+// strictly less.  Both are decided exactly through the directed reader:
+// the smallest float ≥ value exceeds x iff the value does (x itself
+// being a float), and symmetrically from below.  Range errors are fine —
+// the saturated result still compares correctly.
+func exactAbove(t *testing.T, digits []byte, k int, x float64) bool {
+	t.Helper()
+	v, err := reader.Convert(reader.Number{Digits: digits, Base: 10, K: k}, fpformat.Binary64, reader.TowardPosInf)
+	f, ferr := v.Float64()
+	if ferr != nil {
+		t.Fatalf("Float64 after Convert (err %v): %v", err, ferr)
+	}
+	return f > x
+}
+
+func exactBelow(t *testing.T, digits []byte, k int, x float64) bool {
+	t.Helper()
+	v, err := reader.Convert(reader.Number{Digits: digits, Base: 10, K: k}, fpformat.Binary64, reader.TowardNegInf)
+	f, ferr := v.Float64()
+	if ferr != nil {
+		t.Fatalf("Float64 after Convert (err %v): %v", err, ferr)
+	}
+	return f < x
+}
+
+// incLast adds one unit in the last place of a digit string, carrying as
+// needed; the returned k accounts for a carry out of the first digit.
+func incLast(digits []byte, k int) ([]byte, int) {
+	out := append([]byte(nil), digits...)
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i]++
+		if out[i] < 10 {
+			return out, k
+		}
+		out[i] = 0
+	}
+	return append([]byte{1}, out...), k + 1
+}
+
+// TestCorpusDegenerateEnclosure drives the full printing→parsing chain
+// over the paper's 250,680-value corpus: for every x, the printed
+// degenerate interval [x, x] must parse back to an enclosure of [x, x]
+// that is at most one ulp wider on each side.
+func TestCorpusDegenerateEnclosure(t *testing.T) {
+	n := schryer.CorpusSize
+	if testing.Short() {
+		n = 8000
+	}
+	buf := make([]byte, 0, 64)
+	for _, x := range schryer.CorpusN(n) {
+		iv := Interval{x, x}
+		var err error
+		buf, err = AppendShortest(buf[:0], iv, nil)
+		if err != nil {
+			t.Fatalf("AppendShortest([%x,%x]): %v", x, x, err)
+		}
+		got, err := Parse(string(buf), nil)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", buf, err)
+		}
+		if !got.Encloses(iv) {
+			t.Fatalf("Parse(%q) = [%x,%x] does not enclose %x", buf, got.Lo, got.Hi, x)
+		}
+		if got.Lo != x && math.Nextafter(got.Lo, math.Inf(1)) != x {
+			t.Fatalf("%x: lower endpoint widened beyond one ulp to %x (%q)", x, got.Lo, buf)
+		}
+		if got.Hi != x && math.Nextafter(got.Hi, math.Inf(-1)) != x {
+			t.Fatalf("%x: upper endpoint widened beyond one ulp to %x (%q)", x, got.Hi, buf)
+		}
+	}
+}
+
+// TestCorpusReaderModeInvariance pins a design decision: the Reader
+// field of the options passed to Parse is overridden per endpoint (lo
+// always reads toward −∞, hi toward +∞), so the parsed enclosure is
+// identical under every requested reader mode.
+func TestCorpusReaderModeInvariance(t *testing.T) {
+	n := 30000
+	if testing.Short() {
+		n = 2000
+	}
+	modes := []floatprint.ReaderRounding{
+		floatprint.ReaderNearestEven,
+		floatprint.ReaderUnknown,
+		floatprint.ReaderNearestAway,
+		floatprint.ReaderNearestTowardZero,
+		floatprint.ReaderTowardNegInf,
+		floatprint.ReaderTowardPosInf,
+	}
+	for _, x := range schryer.CorpusN(n) {
+		s := Interval{x, x}.String()
+		want, err := Parse(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range modes {
+			got, err := Parse(s, &floatprint.Options{Reader: m})
+			if err != nil || got != want {
+				t.Fatalf("Parse(%q, reader %v) = %v, %v; want %v", s, m, got, err, want)
+			}
+		}
+	}
+}
+
+// TestCorpusTightness verifies that the printed bounds cannot be
+// tightened in place: adding one unit in the last place of the printed
+// lower endpoint lifts its exact value above x (so it is no longer a
+// lower bound), and subtracting one unit from the printed upper endpoint
+// drops it below x.  Together with enclosure this pins both halves of
+// the one-sided contract — each endpoint is the tightest digit string of
+// its own length.
+func TestCorpusTightness(t *testing.T) {
+	n := schryer.CorpusSize
+	stride := 16
+	if testing.Short() {
+		n, stride = 8000, 8
+	}
+	corpus := schryer.CorpusN(n)
+	for i := 0; i < len(corpus); i += stride {
+		x := corpus[i]
+		lo, err := floatprint.ShortestBelowDigits(x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := floatprint.ShortestAboveDigits(x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lower bound + 1 ulp(last digit) must overshoot x.
+		up, upK := incLast(lo.Digits[:lo.NSig], lo.K)
+		if !exactAbove(t, up, upK, x) {
+			t.Fatalf("%x: lower bound %v can be tightened: +1 ulp stays ≤ x", x, lo)
+		}
+		// Upper bound − 1 ulp(last digit) must undershoot x.  The
+		// generation loop never emits a trailing zero, so no borrow.
+		hd := append([]byte(nil), hi.Digits[:hi.NSig]...)
+		if hd[len(hd)-1] == 0 {
+			t.Fatalf("%x: upper bound %v has a trailing zero digit", x, hi)
+		}
+		hd[len(hd)-1]--
+		if !exactBelow(t, hd, hi.K, x) {
+			t.Fatalf("%x: upper bound %v can be tightened: -1 ulp stays ≥ x", x, hi)
+		}
+	}
+}
+
+// TestCorpusNearestRereadOfEndpoints spot-checks van Emden's dual
+// requirement on the printed endpoints: each is still an identifying
+// string for its float (a plain strconv round-trip recovers it), so
+// consumers that ignore interval semantics read a value inside the
+// enclosure, never outside it.
+func TestCorpusNearestRereadOfEndpoints(t *testing.T) {
+	n := 30000
+	if testing.Short() {
+		n = 2000
+	}
+	for _, x := range schryer.CorpusN(n) {
+		for _, s := range []string{floatprint.ShortestBelow(x), floatprint.ShortestAbove(x)} {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil || f != x {
+				t.Fatalf("strconv.ParseFloat(%q) = %x, %v; want %x", s, f, err, x)
+			}
+		}
+	}
+}
+
+// FuzzIntervalEnclosure fuzzes the whole print→parse chain with
+// arbitrary bit patterns: any ordered pair of non-NaN floats must print
+// to a parseable interval that encloses it within one ulp per side.
+func FuzzIntervalEnclosure(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(math.Float64bits(0.1), math.Float64bits(0.3))
+	f.Add(math.Float64bits(-0.0), math.Float64bits(0.0))
+	f.Add(math.Float64bits(math.Inf(-1)), math.Float64bits(math.Inf(1)))
+	f.Add(uint64(1), uint64(2))                            // denormals
+	f.Add(math.Float64bits(math.MaxFloat64), math.Float64bits(math.Inf(1)))
+	f.Add(math.Float64bits(1e23), math.Float64bits(1e23))
+	f.Fuzz(func(t *testing.T, aBits, bBits uint64) {
+		a, b := math.Float64frombits(aBits), math.Float64frombits(bBits)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			t.Skip()
+		}
+		if a > b || (a == b && math.Signbit(b) && !math.Signbit(a)) {
+			a, b = b, a
+		}
+		iv := Interval{a, b}
+		out, err := AppendShortest(nil, iv, nil)
+		if err != nil {
+			t.Fatalf("AppendShortest(%v): %v", iv, err)
+		}
+		got, err := Parse(string(out), nil)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", out, err)
+		}
+		if !got.Encloses(iv) {
+			t.Fatalf("Parse(%q) = %v does not enclose [%x,%x]", out, got, a, b)
+		}
+		if got.Lo != a && math.Nextafter(got.Lo, math.Inf(1)) != a {
+			t.Fatalf("lower endpoint of %q widened beyond one ulp: %x -> %x", out, a, got.Lo)
+		}
+		if got.Hi != b && math.Nextafter(got.Hi, math.Inf(-1)) != b {
+			t.Fatalf("upper endpoint of %q widened beyond one ulp: %x -> %x", out, b, got.Hi)
+		}
+		// The endpoints also identify their floats for nearest readers.
+		if !math.IsInf(a, 0) {
+			if f64, err := strconv.ParseFloat(floatprint.ShortestBelow(a), 64); err != nil || f64 != a {
+				t.Fatalf("strconv re-read of Below(%x) = %x, %v", a, f64, err)
+			}
+		}
+		if !math.IsInf(b, 0) {
+			if f64, err := strconv.ParseFloat(floatprint.ShortestAbove(b), 64); err != nil || f64 != b {
+				t.Fatalf("strconv re-read of Above(%x) = %x, %v", b, f64, err)
+			}
+		}
+	})
+}

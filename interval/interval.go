@@ -1,0 +1,191 @@
+// Package interval provides outward-rounded interval I/O on top of the
+// exact conversion core: printing a floating-point interval as the
+// shortest decimal interval that encloses it, and reading decimal
+// interval text back to the smallest floating-point interval that
+// encloses the text's exact value.
+//
+// The enclosure contract is van Emden's requirement for interval
+// arithmetic text I/O: converting in either direction may only widen,
+// never narrow, so a chain of print/parse round-trips through logs,
+// wires, and spreadsheets still brackets the true value.  Both
+// directions are built from the package root's directed conversions:
+//
+//   - Printing:  [ShortestBelow(Lo), ShortestAbove(Hi)] — each endpoint
+//     is the shortest string on its own outward side of the endpoint
+//     (the §3 generation loop with a one-sided stopping condition), so
+//     the printed interval encloses the value and, endpoint by endpoint,
+//     cannot be shortened or tightened without losing enclosure.
+//   - Parsing:  the lower endpoint converts under rounding toward −∞ and
+//     the upper under rounding toward +∞, so each binary endpoint lands
+//     on the outward side of the decimal text's exact value.
+//
+// Degenerate intervals are the interesting stress case: printing [x, x]
+// yields two different strings whenever x is not exactly representable
+// in decimal at shortest length, and parsing the text back encloses
+// [x, x] with at most one ulp of widening per endpoint — zero exactly
+// when the printed endpoint is the decimally exact value of x (an
+// endpoint string strictly inside the half-gap necessarily sits between
+// two floats, so the outward directed read lands on the outer one).
+package interval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"floatprint"
+	"floatprint/internal/stats"
+)
+
+// Interval is a closed floating-point interval [Lo, Hi].  The zero value
+// is the degenerate interval [0, 0].  An interval is valid when neither
+// endpoint is NaN and Lo ≤ Hi; infinite endpoints are allowed and print
+// and parse as -Inf / +Inf.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// New returns the interval [lo, hi], or an error if an endpoint is NaN
+// or lo > hi.  Note that lo = +0, hi = −0 is rejected as inverted even
+// though +0 == −0 numerically: −0 sorts below +0 in the print/parse
+// contract, and accepting [+0,−0] would make String produce "[0,-0]",
+// which Parse rejects.
+func New(lo, hi float64) (Interval, error) {
+	if err := check(lo, hi); err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}
+
+// check validates an endpoint pair, using the sign bit (not ==) to order
+// zeros so that [-0, +0] is valid and [+0, -0] is not.
+func check(lo, hi float64) error {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return errors.New("interval: NaN endpoint")
+	}
+	if lo > hi || (lo == hi && math.Signbit(hi) && !math.Signbit(lo)) {
+		return fmt.Errorf("interval: inverted endpoints [%g, %g]", lo, hi)
+	}
+	return nil
+}
+
+// Contains reports whether x lies in iv (endpoints included).  It is
+// false for NaN.
+func (iv Interval) Contains(x float64) bool {
+	return iv.Lo <= x && x <= iv.Hi
+}
+
+// Encloses reports whether every point of other lies in iv.
+func (iv Interval) Encloses(other Interval) bool {
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// AppendShortest appends the shortest enclosing decimal form of iv,
+// "[lo,hi]", to dst and returns the extended slice.  The lower endpoint
+// is printed with floatprint.ShortestBelowDigits and the upper with
+// ShortestAboveDigits, so the decimal interval always encloses iv, and
+// each printed endpoint is both as short as possible and, at that
+// length, as tight as possible.  Invalid intervals (NaN endpoint,
+// Lo > Hi) are rejected with dst unchanged.  opts follows the
+// floatprint conventions (nil means defaults); only base 10 output can
+// be read back by Parse.
+func AppendShortest(dst []byte, iv Interval, opts *floatprint.Options) ([]byte, error) {
+	if err := check(iv.Lo, iv.Hi); err != nil {
+		return dst, err
+	}
+	lo, err := floatprint.ShortestBelowDigits(iv.Lo, opts)
+	if err != nil {
+		return dst, err
+	}
+	hi, err := floatprint.ShortestAboveDigits(iv.Hi, opts)
+	if err != nil {
+		return dst, err
+	}
+	out := append(dst, '[')
+	if out, err = lo.Append(out, opts); err != nil {
+		return dst, err
+	}
+	out = append(out, ',')
+	if out, err = hi.Append(out, opts); err != nil {
+		return dst, err
+	}
+	stats.IntervalPrints.Inc()
+	return append(out, ']'), nil
+}
+
+// String renders iv under default options.  An invalid interval falls
+// back to a diagnostic "[%g,%g]" rendering (which Parse rejects, as it
+// rejects the interval itself).
+func (iv Interval) String() string {
+	out, err := AppendShortest(make([]byte, 0, 48), iv, nil)
+	if err != nil {
+		return fmt.Sprintf("[%g,%g]", iv.Lo, iv.Hi)
+	}
+	return string(out)
+}
+
+// Parse reads interval text "[lo,hi]" and returns the smallest float64
+// interval enclosing the exact decimal values: the lower endpoint is
+// converted rounding toward −∞ and the upper toward +∞.  Out-of-range
+// endpoints widen outward without error — a lower endpoint below
+// −MaxFloat64 becomes −Inf, an upper endpoint whose magnitude underflows
+// becomes the smallest denormal — because widening is exactly what the
+// enclosure contract asks for there.  NaN endpoints, inverted endpoints,
+// and malformed text are errors.  Whitespace around the brackets and
+// endpoints is ignored.  opts supplies the base (interval syntax uses
+// '[', ',', ']' regardless of base); its Reader field is overridden per
+// endpoint.
+func Parse(s string, opts *floatprint.Options) (Interval, error) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(s), "[")
+	if !ok {
+		return Interval{}, fmt.Errorf("interval: missing '[' in %q", s)
+	}
+	body, ok = strings.CutSuffix(body, "]")
+	if !ok {
+		return Interval{}, fmt.Errorf("interval: missing ']' in %q", s)
+	}
+	loText, hiText, ok := strings.Cut(body, ",")
+	if !ok {
+		return Interval{}, fmt.Errorf("interval: missing ',' in %q", s)
+	}
+	if strings.Contains(hiText, ",") {
+		return Interval{}, fmt.Errorf("interval: more than two endpoints in %q", s)
+	}
+
+	var o floatprint.Options
+	if opts != nil {
+		o = *opts
+	}
+	o.Reader = floatprint.ReaderTowardNegInf
+	lo, err := parseEndpoint(strings.TrimSpace(loText), &o)
+	if err != nil {
+		return Interval{}, err
+	}
+	o.Reader = floatprint.ReaderTowardPosInf
+	hi, err := parseEndpoint(strings.TrimSpace(hiText), &o)
+	if err != nil {
+		return Interval{}, err
+	}
+	if err := check(lo, hi); err != nil {
+		return Interval{}, err
+	}
+	stats.IntervalParses.Inc()
+	return Interval{Lo: lo, Hi: hi}, nil
+}
+
+// parseEndpoint converts one endpoint under the directed mode already
+// set in o.  A range error is not an error here: the directed reader's
+// saturated result (±Inf when rounding outward, ±MaxFloat64 when
+// truncating) is precisely the enclosing endpoint.  NaN text is an
+// error — NaN has no position on the line to enclose.
+func parseEndpoint(text string, o *floatprint.Options) (float64, error) {
+	f, err := floatprint.Parse(text, o)
+	if err != nil && !errors.Is(err, floatprint.ErrRange) {
+		return 0, fmt.Errorf("interval: %w", err)
+	}
+	if math.IsNaN(f) {
+		return 0, fmt.Errorf("interval: NaN endpoint %q", text)
+	}
+	return f, nil
+}

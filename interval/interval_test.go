@@ -1,0 +1,235 @@
+package interval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"floatprint"
+)
+
+func mustParse(t *testing.T, s string) Interval {
+	t.Helper()
+	iv, err := Parse(s, nil)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return iv
+}
+
+// TestStringGoldens pins the printed form on hand-checked intervals.
+func TestStringGoldens(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	cases := []struct {
+		iv   Interval
+		want string
+	}{
+		// Degenerate [0.3, 0.3]: the lower bound needs 17 digits (the
+		// exact value of float64(0.3) is below decimal 0.3), the upper is
+		// "0.3" itself.
+		{Interval{0.3, 0.3}, "[0.29999999999999998,0.3]"},
+		{Interval{0.1, 0.1}, "[0.1,0.10000000000000001]"},
+		{Interval{0.1, 0.3}, "[0.1,0.3]"},
+		{Interval{1, 2}, "[1,2]"},
+		{Interval{-0.5, 0.25}, "[-0.5,0.25]"},
+		// Signed zeros must not collapse: [-0, +0] keeps both signs.
+		{Interval{negZero, 0}, "[-0,0]"},
+		{Interval{0, 0}, "[0,0]"},
+		{Interval{negZero, negZero}, "[-0,-0]"},
+		// Infinite endpoints are their own exact bounds.
+		{Interval{math.Inf(-1), math.Inf(1)}, "[-Inf,+Inf]"},
+		{Interval{math.MaxFloat64, math.Inf(1)}, "[1.7976931348623157e308,+Inf]"},
+		// Format frontier.
+		{Interval{math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64}, "[4e-324,5e-324]"},
+	}
+	for _, c := range cases {
+		if got := c.iv.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.iv, got, c.want)
+		}
+	}
+	// An invalid interval renders a diagnostic form rather than lying.
+	if got := (Interval{2, 1}).String(); got != "[2,1]" {
+		t.Errorf("String of inverted interval = %q", got)
+	}
+	if got := (Interval{math.NaN(), 1}).String(); !strings.Contains(got, "NaN") {
+		t.Errorf("String with NaN endpoint = %q", got)
+	}
+}
+
+// TestAppendShortestErrors checks that invalid intervals and options are
+// rejected with dst untouched.
+func TestAppendShortestErrors(t *testing.T) {
+	dst := []byte("keep:")
+	for _, iv := range []Interval{
+		{math.NaN(), 1},
+		{1, math.NaN()},
+		{2, 1},
+		{0, math.Copysign(0, -1)}, // [+0, -0] is inverted in sign-bit order
+	} {
+		out, err := AppendShortest(dst, iv, nil)
+		if err == nil {
+			t.Errorf("AppendShortest(%v) succeeded", iv)
+		}
+		if string(out) != "keep:" {
+			t.Errorf("AppendShortest(%v) modified dst: %q", iv, out)
+		}
+	}
+	if _, err := AppendShortest(nil, Interval{1, 2}, &floatprint.Options{Base: 99}); err == nil {
+		t.Error("AppendShortest with invalid base succeeded")
+	}
+}
+
+// TestParseGoldens pins Parse on hand-checked texts, including outward
+// rounding of inexact endpoints and whitespace tolerance.
+func TestParseGoldens(t *testing.T) {
+	up := math.Nextafter(0.3, math.Inf(1))
+	down := math.Nextafter(0.1, math.Inf(-1))
+	cases := []struct {
+		in     string
+		lo, hi float64
+	}{
+		{"[1,2]", 1, 2},
+		{"[0.5,0.5]", 0.5, 0.5},
+		// Inexact decimals round outward: 0.1 text is below float64(0.1),
+		// 0.3 text above float64(0.3).
+		{"[0.1,0.3]", down, up},
+		{"[0.3,0.3]", 0.3, up},
+		{" [ 1 , 2 ] ", 1, 2},
+		{"[-Inf,+Inf]", math.Inf(-1), math.Inf(1)},
+		{"[1e10,inf]", 1e10, math.Inf(1)},
+		// Out-of-range endpoints widen outward without error.
+		{"[1e999,2e999]", math.MaxFloat64, math.Inf(1)},
+		{"[-1e999,0]", math.Inf(-1), 0},
+		{"[-2e308,2e308]", math.Inf(-1), math.Inf(1)},
+		// Underflow stops outward at the smallest denormal, inward at zero.
+		{"[1e-999,1e-999]", 0, math.SmallestNonzeroFloat64},
+		{"[-1e-999,-1e-999]", -math.SmallestNonzeroFloat64, math.Copysign(0, -1)},
+	}
+	for _, c := range cases {
+		iv := mustParse(t, c.in)
+		if iv.Lo != c.lo || iv.Hi != c.hi ||
+			math.Signbit(iv.Lo) != math.Signbit(c.lo) || math.Signbit(iv.Hi) != math.Signbit(c.hi) {
+			t.Errorf("Parse(%q) = [%v,%v], want [%v,%v]", c.in, iv.Lo, iv.Hi, c.lo, c.hi)
+		}
+	}
+
+	// Signed zeros survive a round trip.
+	iv := mustParse(t, "[-0,0]")
+	if !math.Signbit(iv.Lo) || math.Signbit(iv.Hi) {
+		t.Errorf("Parse([-0,0]) lost zero signs: [%v,%v]", iv.Lo, iv.Hi)
+	}
+}
+
+// TestParseErrors enumerates the rejection cases.
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "1,2", "[1,2", "1,2]", "[1]", "[1;2]", "[1,2,3]",
+		"[,1]", "[1,]", "[a,b]", "[NaN,1]", "[1,nan]", "[2,1]",
+		"[0,-0]", // inverted in sign-bit order
+		"[1x,2]",
+	} {
+		if iv, err := Parse(in, nil); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", in, iv)
+		}
+	}
+}
+
+// TestContainsEncloses covers the predicate corners, NaN in particular.
+func TestContainsEncloses(t *testing.T) {
+	iv := Interval{-1, 2}
+	for x, want := range map[float64]bool{-1: true, 0: true, 2: true, 2.5: false, -1.5: false} {
+		if iv.Contains(x) != want {
+			t.Errorf("Contains(%v) = %v", x, !want)
+		}
+	}
+	if iv.Contains(math.NaN()) {
+		t.Error("Contains(NaN) = true")
+	}
+	if !iv.Encloses(Interval{-1, 2}) || !iv.Encloses(Interval{0, 0}) {
+		t.Error("Encloses rejects subintervals")
+	}
+	if iv.Encloses(Interval{-2, 0}) || iv.Encloses(Interval{0, 3}) {
+		t.Error("Encloses accepts overhanging intervals")
+	}
+	all := Interval{math.Inf(-1), math.Inf(1)}
+	if !all.Encloses(iv) || !all.Contains(math.Inf(1)) {
+		t.Error("[-Inf,+Inf] fails to enclose")
+	}
+}
+
+// TestNew checks the constructor's validation, including the sign-bit
+// ordering of zeros.
+func TestNew(t *testing.T) {
+	if _, err := New(1, 2); err != nil {
+		t.Errorf("New(1,2): %v", err)
+	}
+	if _, err := New(math.Copysign(0, -1), 0); err != nil {
+		t.Errorf("New(-0,+0): %v", err)
+	}
+	for _, c := range [][2]float64{{2, 1}, {math.NaN(), 1}, {1, math.NaN()}, {0, math.Copysign(0, -1)}} {
+		if _, err := New(c[0], c[1]); err == nil {
+			t.Errorf("New(%v,%v) succeeded", c[0], c[1])
+		}
+	}
+}
+
+// TestIntervalStats checks the counter contract: one IntervalPrints per
+// formatted interval, one IntervalParses per parsed text, visible
+// through the public floatprint.Snapshot.
+func TestIntervalStats(t *testing.T) {
+	floatprint.ResetStats()
+	prev := floatprint.SetStatsEnabled(true)
+	defer floatprint.SetStatsEnabled(prev)
+
+	before := floatprint.Snapshot()
+	if _, err := AppendShortest(nil, Interval{0.1, 0.3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mustParse(t, "[0.1,0.3]")
+	mustParse(t, "[1,2]")
+	d := floatprint.Snapshot().Sub(before)
+	if d.IntervalPrints != 1 {
+		t.Errorf("IntervalPrints = %d, want 1", d.IntervalPrints)
+	}
+	if d.IntervalParses != 2 {
+		t.Errorf("IntervalParses = %d, want 2", d.IntervalParses)
+	}
+	// Failed operations do not count.
+	before = floatprint.Snapshot()
+	if _, err := AppendShortest(nil, Interval{2, 1}, nil); err == nil {
+		t.Fatal("inverted print succeeded")
+	}
+	if _, err := Parse("[2,1]", nil); err == nil {
+		t.Fatal("inverted parse succeeded")
+	}
+	d = floatprint.Snapshot().Sub(before)
+	if d.IntervalPrints != 0 || d.IntervalParses != 0 {
+		t.Errorf("failed operations counted: %+v", d)
+	}
+}
+
+// TestRoundTripEnclosure is the core contract on a quick hand-picked
+// set (the corpus-wide property lives in corpus_test.go): String then
+// Parse must enclose the original with at most one ulp of widening per
+// endpoint.
+func TestRoundTripEnclosure(t *testing.T) {
+	values := []float64{0, 0.1, 0.3, 1, 1e-310, 5e-324, math.MaxFloat64, 1e23, math.Pi}
+	for _, lo := range values {
+		for _, hi := range values {
+			if lo > hi {
+				continue
+			}
+			iv := Interval{lo, hi}
+			got := mustParse(t, iv.String())
+			if !got.Encloses(iv) {
+				t.Errorf("Parse(String(%v)) = %v does not enclose", iv, got)
+			}
+			if got.Lo != iv.Lo && math.Nextafter(got.Lo, math.Inf(1)) != iv.Lo {
+				t.Errorf("lo widened beyond one ulp: %v -> %v", iv.Lo, got.Lo)
+			}
+			if got.Hi != iv.Hi && math.Nextafter(got.Hi, math.Inf(-1)) != iv.Hi {
+				t.Errorf("hi widened beyond one ulp: %v -> %v", iv.Hi, got.Hi)
+			}
+		}
+	}
+}

@@ -26,13 +26,44 @@ const (
 	ReaderNearestAway
 	// ReaderNearestTowardZero assumes the reader rounds ties toward zero.
 	ReaderNearestTowardZero
+	// ReaderTowardNegInf selects IEEE directed rounding toward −∞.  For
+	// Parse it rounds every inexact input down — the outward rounding an
+	// interval *lower* bound needs — saturating positive overflow at
+	// MaxFloat64 and stopping positive underflow at the smallest
+	// denormal.  For printing it emits the shortest string in v's upper
+	// half-gap [v, v+m⁺) (ShortestAboveDigits): such a string reads back
+	// as exactly v under a toward-negative reader, and under any nearest
+	// reader as well.
+	ReaderTowardNegInf
+	// ReaderTowardPosInf selects IEEE directed rounding toward +∞, the
+	// mirror of ReaderTowardNegInf: Parse rounds every inexact input up,
+	// and printing emits the shortest string in the lower half-gap
+	// (v−m⁻, v] (ShortestBelowDigits).
+	ReaderTowardPosInf
 )
 
-func (r ReaderRounding) String() string { return r.core().String() }
+func (r ReaderRounding) String() string {
+	if r.directed() {
+		return r.reader().String()
+	}
+	return r.core().String()
+}
 
+// directed reports whether r is one of the two directed (interval) modes,
+// which take a one-sided printing path instead of the nearest-range core.
+func (r ReaderRounding) directed() bool {
+	return r == ReaderTowardNegInf || r == ReaderTowardPosInf
+}
+
+// core maps r to the exact core's nearest-range reader assumption.  The
+// directed modes never reach the free-format core (shortestValue routes
+// them to Floor/CeilFormat first); where a nearest-range assumption is
+// still needed — the fixed-format significance analysis — they fall back
+// to the conservative ReaderUnknown, whose output is valid under every
+// reader.
 func (r ReaderRounding) core() core.ReaderMode {
 	switch r {
-	case ReaderUnknown:
+	case ReaderUnknown, ReaderTowardNegInf, ReaderTowardPosInf:
 		return core.ReaderUnknown
 	case ReaderNearestAway:
 		return core.ReaderNearestAway
@@ -49,6 +80,10 @@ func (r ReaderRounding) reader() reader.RoundMode {
 		return reader.NearestAway
 	case ReaderNearestTowardZero:
 		return reader.NearestTowardZero
+	case ReaderTowardNegInf:
+		return reader.TowardNegInf
+	case ReaderTowardPosInf:
+		return reader.TowardPosInf
 	default:
 		return reader.NearestEven
 	}

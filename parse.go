@@ -92,9 +92,15 @@ func parse64(s string, o Options, tr *Trace) (float64, error) {
 	traceExactParse(tr, o, n, fastMiss)
 	if err != nil {
 		if errors.Is(err, reader.ErrRange) {
-			// Only the conversion's own range error implies ±Inf, and only
-			// here is v populated (the reader sets Neg on its Inf result).
-			return infFor(v.Neg), fmt.Errorf("%w (parsing %q)", ErrRange, s)
+			// Only the conversion's own range error carries a saturated
+			// result, and only here is v populated: ±Inf under the nearest
+			// modes, ±MaxFloat64 under the directed mode truncating that
+			// sign (the reader sets class, sign, and mantissa accordingly).
+			f, ferr := v.Float64()
+			if ferr != nil {
+				return infFor(v.Neg), fmt.Errorf("%w (parsing %q)", ErrRange, s)
+			}
+			return f, fmt.Errorf("%w (parsing %q)", ErrRange, s)
 		}
 		return 0, fmt.Errorf("floatprint: %w", err)
 	}
@@ -132,7 +138,14 @@ func Parse32(s string, opts *Options) (float32, error) {
 	}
 	if err != nil {
 		if errors.Is(err, reader.ErrRange) {
-			return float32(infFor(v.Neg)), fmt.Errorf("%w (parsing %q)", ErrRange, s)
+			// As in parse64: the reader's saturated result (±Inf, or the
+			// largest finite float32 under a truncating directed mode)
+			// rides along with ErrRange.
+			f, ferr := v.Float32()
+			if ferr != nil {
+				return float32(infFor(v.Neg)), fmt.Errorf("%w (parsing %q)", ErrRange, s)
+			}
+			return f, fmt.Errorf("%w (parsing %q)", ErrRange, s)
 		}
 		return 0, fmt.Errorf("floatprint: %w", err)
 	}

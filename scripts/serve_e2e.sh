@@ -3,8 +3,9 @@
 # random port with the debug surface enabled, hit every endpoint, check
 # the 10k-value batch stream byte-for-byte against the fpprint
 # reference, round-trip that output through the /v1/batch-parse
-# ingestion engine and back, scrape /metrics (including the
-# conversion-trace and batch-parse gauges),
+# ingestion engine and back, round-trip interval text through
+# /v1/interval with an enclosure assertion, scrape /metrics (including
+# the conversion-trace, batch-parse, and interval gauges),
 # exercise /debug/pprof and /debug/exemplars, verify request ids tie
 # responses to the structured access log, and verify graceful shutdown
 # drains and exits 0 within the drain deadline.
@@ -77,6 +78,22 @@ got="$(curl -fsS "$base/v1/parse?s=1e23")"
 got="$(curl -fsS "$base/v1/parse?s=-1e999")"
 [ "$got" = "-Inf" ] || fail "/v1/parse?s=-1e999 = $got, want -Inf"
 
+echo "== /v1/interval: outward print, enclosure parse =="
+got="$(curl -fsS "$base/v1/interval?lo=0.1&hi=0.3")"
+[ "$got" = "[0.1,0.3]" ] || fail "/v1/interval?lo=0.1&hi=0.3 = $got"
+# Degenerate interval: both endpoints are one-sided conversions of the
+# same float, outward-rounded so the decimal interval encloses it.
+printed="$(curl -fsS "$base/v1/interval?lo=0.3&hi=0.3")"
+[ "$printed" = "[0.29999999999999998,0.3]" ] || fail "/v1/interval?lo=0.3&hi=0.3 = $printed"
+# Parse form: read the printed text back with outward rounding; the
+# response is the enclosing rendering of the parsed endpoints, so its
+# numeric endpoints must bracket the ones that went in.
+parsed="$(curl -fsS --get --data-urlencode "s=$printed" "$base/v1/interval")"
+[ "$parsed" = "[0.29999999999999993,0.30000000000000005]" ] || fail "interval parse of $printed = $parsed"
+echo "$printed $parsed" | tr -d '[]' | tr ', ' '  ' \
+  | awk '{ if ($3 > $1 || $4 < $2) exit 1 }' \
+  || fail "parsed interval $parsed does not enclose printed $printed"
+
 echo "== request ids: response header ties to the structured access log =="
 req_id="$(curl -fsS -D - -o /dev/null "$base/v1/shortest?v=0.5" \
   | tr -d '\r' | sed -n 's/^X-Request-Id: //pI' | head -n1)"
@@ -121,12 +138,13 @@ batch_values="$(awk '$1 == "floatprint_batch_values_total" { print $2 }' "$workd
 [ "$batch_values" -ge 10000 ] || fail "floatprint_batch_values_total = $batch_values, want >= 10000"
 requests="$(awk '$1 == "fpserved_requests_total" { print $2 }' "$workdir/metrics.txt")"
 [ -n "$requests" ] || fail "fpserved_requests_total missing from /metrics"
-# Fourteen conversion requests so far (six shortest — including the two
-# backend selections and the rejected backend=bogus, counted at receipt
-# — one fixed, three parse, one batch, two batch-parse, and the
-# round-trip batch); /healthz, /metrics, and /debug bypass the
-# instrumented chain and are deliberately not counted.
-[ "$requests" -eq 14 ] || fail "fpserved_requests_total = $requests, want 14"
+# Seventeen conversion requests so far (six shortest — including the
+# two backend selections and the rejected backend=bogus, counted at
+# receipt — one fixed, three parse, three interval, one batch, two
+# batch-parse, and the round-trip batch); /healthz, /metrics, and
+# /debug bypass the instrumented chain and are deliberately not
+# counted.
+[ "$requests" -eq 17 ] || fail "fpserved_requests_total = $requests, want 17"
 
 echo "== /metrics: batch-parse engine counters =="
 bp_values="$(awk '$1 == "floatprint_batch_parse_values_total" { print $2 }' "$workdir/metrics.txt")"
@@ -140,6 +158,16 @@ bp_bytes="$(awk '$1 == "floatprint_batch_parse_bytes_total" { print $2 }' "$work
 [ "$bp_bytes" -ge 10000 ] || fail "floatprint_batch_parse_bytes_total = $bp_bytes, want >= 10000"
 grep -q '^floatprint_batch_parse_fallbacks_total' "$workdir/metrics.txt" \
   || fail "floatprint_batch_parse_fallbacks_total missing from /metrics"
+
+echo "== /metrics: interval counters =="
+iv_prints="$(awk '$1 == "floatprint_interval_prints_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$iv_prints" ] || fail "floatprint_interval_prints_total missing from /metrics"
+# Three formatted intervals: the two print-form requests plus the
+# enclosing rendering of the parse-form response.
+[ "$iv_prints" -eq 3 ] || fail "floatprint_interval_prints_total = $iv_prints, want 3"
+iv_parses="$(awk '$1 == "floatprint_interval_parses_total" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$iv_parses" ] || fail "floatprint_interval_parses_total missing from /metrics"
+[ "$iv_parses" -eq 1 ] || fail "floatprint_interval_parses_total = $iv_parses, want 1"
 
 echo "== /metrics: parse path counters =="
 parse_hits="$(awk '$1 == "floatprint_parse_fast_hits_total" { print $2 }' "$workdir/metrics.txt")"

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"floatprint"
+	"floatprint/interval"
 )
 
 // optionsFromQuery maps the common query parameters onto
@@ -69,13 +70,19 @@ func optionsFromQuery(q url.Values) (*floatprint.Options, error) {
 // strconv's IEEE semantics (±Inf) instead of failing: a client that
 // sends 1e999 gets back what a float64 read of 1e999 is.
 func parseValue(q url.Values, bitSize int) (float64, error) {
-	vs := q.Get("v")
+	return parseFloatParam(q, "v", bitSize)
+}
+
+// parseFloatParam reads one named float query parameter with
+// parseValue's IEEE range semantics.
+func parseFloatParam(q url.Values, name string, bitSize int) (float64, error) {
+	vs := q.Get(name)
 	if vs == "" {
-		return 0, errors.New("missing v parameter")
+		return 0, fmt.Errorf("missing %s parameter", name)
 	}
 	v, err := strconv.ParseFloat(vs, bitSize)
 	if err != nil && !errors.Is(err, strconv.ErrRange) {
-		return 0, fmt.Errorf("bad value %q", vs)
+		return 0, fmt.Errorf("bad %s %q", name, vs)
 	}
 	return v, nil
 }
@@ -172,6 +179,56 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeDigits(w, d, opts)
+}
+
+// handleInterval serves GET /v1/interval: interval I/O with the
+// enclosure guarantee.  With lo= and hi=, it prints the shortest
+// decimal interval enclosing [lo, hi] (lower endpoint rounded outward
+// down, upper outward up).  With s=[a,b], it reads the text with
+// outward rounding — out-of-range endpoints widen rather than fail —
+// and responds with the shortest enclosing rendering of the resulting
+// float64 interval.  Exactly one of the two forms is required.  Either
+// way the response interval encloses the request's, so chained
+// print/parse hops through the service only ever widen.
+func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	opts, err := optionsFromQuery(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	in := q.Get("s")
+	hasPair := q.Get("lo") != "" || q.Get("hi") != ""
+	if (in == "") == !hasPair {
+		http.Error(w, "exactly one of s=[lo,hi] or lo=&hi= is required", http.StatusBadRequest)
+		return
+	}
+	var iv interval.Interval
+	if in != "" {
+		iv, err = interval.Parse(in, opts)
+	} else {
+		var lo, hi float64
+		if lo, err = parseFloatParam(q, "lo", 64); err == nil {
+			if hi, err = parseFloatParam(q, "hi", 64); err == nil {
+				iv, err = interval.New(lo, hi)
+			}
+		}
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out, err := interval.AppendShortest(make([]byte, 0, 64), iv, opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(append(out, '\n'))
 }
 
 // handleFixed serves GET /v1/fixed: fixed-format rendering at n

@@ -20,6 +20,7 @@ import (
 
 	"floatprint"
 	"floatprint/internal/schryer"
+	"floatprint/interval"
 )
 
 // newTestServer boots a Server over a real listener (httptest) so
@@ -118,6 +119,66 @@ func TestParseEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /v1/parse = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestIntervalEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		query, want string
+	}{
+		// Print form: shortest decimal interval enclosing [lo, hi].
+		{"lo=0.1&hi=0.3", "[0.1,0.3]\n"},
+		{"lo=0.3&hi=0.3", "[0.29999999999999998,0.3]\n"},
+		{"lo=-0&hi=0", "[-0,0]\n"},
+		{"lo=1&hi=2&notation=sci", "[1e0,2e0]\n"},
+		// Parse form: outward read, then the enclosing rendering of the
+		// parsed endpoints.  Out-of-range endpoints widen, not fail.
+		{"s=" + url.QueryEscape("[0.5,0.5]"), "[0.5,0.5]\n"},
+		{"s=" + url.QueryEscape("[1e999,1e999]"), "[1.7976931348623157e308,+Inf]\n"},
+		{"s=" + url.QueryEscape("[-Inf,+Inf]"), "[-Inf,+Inf]\n"},
+	} {
+		code, body := get(t, ts.URL+"/v1/interval?"+tc.query)
+		if code != http.StatusOK || body != tc.want {
+			t.Errorf("interval?%s = %d %q, want 200 %q", tc.query, code, body, tc.want)
+		}
+	}
+
+	// The parse form's response must enclose what it parsed; pin the
+	// inexact-endpoint case against the library's own contract.
+	want, err := interval.Parse("[0.1,0.3]", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ts.URL+"/v1/interval?s="+url.QueryEscape("[0.1,0.3]"))
+	if code != http.StatusOK || body != want.String()+"\n" {
+		t.Errorf("interval?s=[0.1,0.3] = %d %q, want 200 %q", code, body, want.String()+"\n")
+	}
+	echoed, err := interval.Parse(strings.TrimSuffix(body, "\n"), nil)
+	if err != nil {
+		t.Fatalf("response %q is not parseable interval text: %v", body, err)
+	}
+	if !echoed.Encloses(want) || !want.Contains(0.1) || !want.Contains(0.3) {
+		t.Errorf("response %v does not enclose parsed %v", echoed, want)
+	}
+
+	for _, q := range []string{
+		"", "lo=1", "hi=1", "lo=1&hi=2&s=%5B1,2%5D", // wrong form mix
+		"lo=2&hi=1", "lo=NaN&hi=1", "lo=x&hi=1", // bad endpoints
+		"s=%5B2,1%5D", "s=0.1", "s=%5B1;2%5D", "s=%5BNaN,1%5D", // bad text
+		"lo=1&hi=2&base=99", "lo=1&hi=2&mode=bogus",
+	} {
+		if code, _ := get(t, ts.URL+"/v1/interval?"+q); code != http.StatusBadRequest {
+			t.Errorf("interval?%s = %d, want 400", q, code)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/interval", "text/plain", strings.NewReader("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/interval = %d, want 405", resp.StatusCode)
 	}
 }
 

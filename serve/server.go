@@ -27,6 +27,11 @@
 //	                                    fast-path reader (same base/mode
 //	                                    options); responds with the value's
 //	                                    shortest rendering
+//	GET  /v1/interval?lo=0.1&hi=0.3     shortest decimal interval enclosing
+//	                                    [lo, hi]; or ?s=[0.1,0.3] to read
+//	                                    interval text with outward rounding
+//	                                    and respond with the enclosing
+//	                                    rendering of the parsed endpoints
 //	GET  /v1/fixed?v=3.14159&n=3        (or &pos=-2 for absolute position)
 //	POST /v1/batch                      NDJSON lines, or packed little-endian
 //	                                    float64s with Content-Type
@@ -176,6 +181,7 @@ func (s *Server) Handler() http.Handler {
 	// does not pollute the request counters it reports).
 	mux.Handle("/v1/shortest", s.limited(http.HandlerFunc(s.handleShortest)))
 	mux.Handle("/v1/parse", s.limited(http.HandlerFunc(s.handleParse)))
+	mux.Handle("/v1/interval", s.limited(http.HandlerFunc(s.handleInterval)))
 	mux.Handle("/v1/fixed", s.limited(http.HandlerFunc(s.handleFixed)))
 	mux.Handle("/v1/batch", s.limited(http.HandlerFunc(s.handleBatch)))
 	mux.Handle("/v1/batch-parse", s.limited(http.HandlerFunc(s.handleBatchParse)))

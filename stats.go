@@ -53,6 +53,12 @@ type Stats struct {
 	BatchParseBytes     uint64 // input bytes consumed by the batch engine
 	BatchParseFallbacks uint64 // tokens declined to the per-value parser
 
+	// Interval counters (the interval package).  Each counts whole
+	// [lo,hi] operations; the per-endpoint directed conversions behind
+	// them also advance ExactFree (printing) and ParseExact (reading).
+	IntervalPrints uint64 // intervals formatted by interval.AppendShortest
+	IntervalParses uint64 // intervals read by interval.Parse
+
 	// Conversion-trace aggregates (the algorithm-level telemetry fed by
 	// the tracing subsystem; see Trace).  TraceEstimates and TraceFixups
 	// measure the §3.2 scale estimator on the exact path: the fixup rate
@@ -119,6 +125,9 @@ func (s Stats) Sub(prev Stats) Stats {
 		BatchParseBytes:     s.BatchParseBytes - prev.BatchParseBytes,
 		BatchParseFallbacks: s.BatchParseFallbacks - prev.BatchParseFallbacks,
 
+		IntervalPrints: s.IntervalPrints - prev.IntervalPrints,
+		IntervalParses: s.IntervalParses - prev.IntervalParses,
+
 		TraceConversions: s.TraceConversions - prev.TraceConversions,
 		TraceEstimates:   s.TraceEstimates - prev.TraceEstimates,
 		TraceFixups:      s.TraceFixups - prev.TraceFixups,
@@ -160,6 +169,8 @@ func (s Stats) String() string {
 		fmt.Fprintf(&sb, "  %-22s %11.4f%%\n", "batch-parse fb rate",
 			100*float64(s.BatchParseFallbacks)/float64(s.BatchParseValues))
 	}
+	line("interval prints", s.IntervalPrints)
+	line("interval parses", s.IntervalParses)
 	if s.TraceConversions > 0 {
 		line("traced conversions", s.TraceConversions)
 		line("scale estimates", s.TraceEstimates)
@@ -206,6 +217,8 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 		{"floatprint_batch_parse_values_total", "Values parsed by the batch parse engine.", s.BatchParseValues},
 		{"floatprint_batch_parse_bytes_total", "Input bytes consumed by the batch parse engine.", s.BatchParseBytes},
 		{"floatprint_batch_parse_fallbacks_total", "Batch-parse tokens declined to the per-value parser.", s.BatchParseFallbacks},
+		{"floatprint_interval_prints_total", "Intervals formatted by the interval package.", s.IntervalPrints},
+		{"floatprint_interval_parses_total", "Intervals read by the interval package.", s.IntervalParses},
 		{"floatprint_trace_conversions_total", "Conversions folded into the trace aggregate.", s.TraceConversions},
 		{"floatprint_trace_estimates_total", "Exact conversions that ran the scale estimator.", s.TraceEstimates},
 		{"floatprint_trace_fixups_total", "Scale estimates one low, corrected by the fixup loop.", s.TraceFixups},
@@ -241,5 +254,8 @@ func fromSnap(s stats.Snapshot) Stats {
 		BatchParseValues:    s.BatchParseValues,
 		BatchParseBytes:     s.BatchParseBytes,
 		BatchParseFallbacks: s.BatchParseFallbacks,
+
+		IntervalPrints: s.IntervalPrints,
+		IntervalParses: s.IntervalParses,
 	}
 }

@@ -114,6 +114,7 @@ func TestStatsWritePrometheus(t *testing.T) {
 		ParseFastHits: 970, ParseFastMisses: 30, ParseExact: 45,
 		BatchParseBlocks: 12, BatchParseValues: 5000,
 		BatchParseBytes: 90000, BatchParseFallbacks: 7,
+		IntervalPrints: 21, IntervalParses: 19,
 		TraceConversions: 1050, TraceEstimates: 55, TraceFixups: 17,
 		TraceIterations: 16000, TraceDigits: 15800, TraceRoundUps: 500,
 	}
@@ -172,6 +173,12 @@ floatprint_batch_parse_bytes_total 90000
 # HELP floatprint_batch_parse_fallbacks_total Batch-parse tokens declined to the per-value parser.
 # TYPE floatprint_batch_parse_fallbacks_total counter
 floatprint_batch_parse_fallbacks_total 7
+# HELP floatprint_interval_prints_total Intervals formatted by the interval package.
+# TYPE floatprint_interval_prints_total counter
+floatprint_interval_prints_total 21
+# HELP floatprint_interval_parses_total Intervals read by the interval package.
+# TYPE floatprint_interval_parses_total counter
+floatprint_interval_parses_total 19
 # HELP floatprint_trace_conversions_total Conversions folded into the trace aggregate.
 # TYPE floatprint_trace_conversions_total counter
 floatprint_trace_conversions_total 1050
