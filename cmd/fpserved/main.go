@@ -28,6 +28,15 @@
 //	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
 //	curl localhost:8080/debug/exemplars
 //
+// With -trace-sample N, every request runs under a W3C-propagated
+// request span (incoming traceparent identities are adopted, and the
+// trace id is echoed in X-Trace-Id); roughly 1 in N traces — plus every
+// slow or 5xx request — lands in a bounded ring at /debug/traces:
+//
+//	fpserved -trace-sample 100
+//	curl -H 'traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01' localhost:8080/v1/shortest?v=0.3
+//	curl 'localhost:8080/debug/traces?route=/v1/shortest&min_ms=1'
+//
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, and
 // in-flight requests (streaming batches included) drain for up to
 // -drain before the process exits — 0 on a clean drain, 1 if the
@@ -62,6 +71,8 @@ func main() {
 	debug := flag.Bool("debug", false, "mount /debug/pprof/* and /debug/exemplars")
 	slowReq := flag.Duration("slow-request", 250*time.Millisecond, "capture requests at least this slow into /debug/exemplars")
 	jsonLog := flag.Bool("log-json", false, "emit the access log as JSON instead of logfmt-style text")
+	traceSample := flag.Int("trace-sample", 0, "request tracing: 1 traces every request, N keeps 1 in N; 0 disables (slow and 5xx requests are always kept when on)")
+	traceRing := flag.Int("trace-ring", 0, "completed traces kept for /debug/traces (0 = 64)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "fpserved: ", log.LstdFlags)
@@ -83,6 +94,8 @@ func main() {
 		Slog:           slog.New(handler),
 		Debug:          *debug,
 		SlowRequest:    *slowReq,
+		TraceSample:    *traceSample,
+		TraceRing:      *traceRing,
 	})
 	if err := srv.Listen(); err != nil {
 		logger.Fatal(err)

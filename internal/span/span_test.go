@@ -1,0 +1,332 @@
+package span
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanLifecycle covers the basic shape: a root with two nested
+// children publishes one trace whose records carry the shared trace
+// ID, correct parent links, names, and positive durations, root
+// first.
+func TestSpanLifecycle(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, Seed: 42})
+	root, ctx := tr.StartRequest(context.Background(), "/v1/shortest", "")
+	if got := FromContext(ctx); got != root {
+		t.Fatalf("FromContext = %p, want the root span %p", got, root)
+	}
+	root.SetAttr("http.method", "GET")
+
+	child := FromContext(ctx).StartChild("convert")
+	child.SetAttrInt("digits", 17)
+	grand := child.StartChild("render")
+	grand.End()
+	child.End()
+
+	if reason := root.EndRequest(200); reason != "head" {
+		t.Fatalf("EndRequest reason = %q, want head (SampleEvery=1)", reason)
+	}
+
+	traces, total := tr.Ring().Snapshot()
+	if total != 1 || len(traces) != 1 {
+		t.Fatalf("ring total=%d len=%d, want 1 and 1", total, len(traces))
+	}
+	tc := traces[0]
+	if tc.Route != "/v1/shortest" || tc.Reason != "head" || tc.TraceID != root.TraceID() {
+		t.Fatalf("trace = %+v, want route /v1/shortest reason head id %s", tc, root.TraceID())
+	}
+	if len(tc.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(tc.Spans))
+	}
+	rootRec := tc.Spans[0]
+	if rootRec.Name != "/v1/shortest" || rootRec.ParentID != "" || rootRec.SpanID != root.ID() {
+		t.Fatalf("first record %+v is not the root span", rootRec)
+	}
+	if len(rootRec.Attrs) == 0 || rootRec.Attrs[0] != (Attr{"http.method", "GET"}) {
+		t.Fatalf("root attrs = %v, want http.method=GET first", rootRec.Attrs)
+	}
+	byName := map[string]Record{}
+	for _, r := range tc.Spans {
+		if r.TraceID != tc.TraceID {
+			t.Fatalf("span %s carries trace %s, want %s", r.Name, r.TraceID, tc.TraceID)
+		}
+		if r.DurationMS < 0 {
+			t.Fatalf("span %s has negative duration %v", r.Name, r.DurationMS)
+		}
+		byName[r.Name] = r
+	}
+	if byName["convert"].ParentID != rootRec.SpanID {
+		t.Errorf("convert parent = %s, want root %s", byName["convert"].ParentID, rootRec.SpanID)
+	}
+	if byName["render"].ParentID != byName["convert"].SpanID {
+		t.Errorf("render parent = %s, want convert %s", byName["render"].ParentID, byName["convert"].SpanID)
+	}
+	if byName["convert"].Attrs[0] != (Attr{"digits", "17"}) {
+		t.Errorf("convert attrs = %v, want digits=17", byName["convert"].Attrs)
+	}
+}
+
+// TestNilSpanSafety: every method on a nil span (the tracing-off
+// path) must be a no-op, and an untraced context yields exactly that
+// nil.
+func TestNilSpanSafety(t *testing.T) {
+	var s *Span
+	if s.Recording() || s.TraceID() != "" || s.ID() != "" || s.TraceParent() != "" {
+		t.Fatal("nil span reports live state")
+	}
+	s.SetAttr("k", "v")
+	s.SetAttrInt("n", 1)
+	s.End()
+	if reason := s.EndRequest(500); reason != "" {
+		t.Fatalf("nil EndRequest reason = %q, want empty", reason)
+	}
+	if c := s.StartChild("x"); c != nil {
+		t.Fatalf("nil StartChild = %v, want nil", c)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext on bare context = %v, want nil", got)
+	}
+}
+
+// TestSamplingDeterministic: the head decision is a pure function of
+// (seed, trace ID) — two tracers sharing a seed agree on every ID,
+// rerunning is stable, and a different seed picks a different subset.
+// The 1-in-N rate must land near N over many IDs.
+func TestSamplingDeterministic(t *testing.T) {
+	const n = 8
+	a := New(Config{SampleEvery: n, Seed: 7})
+	b := New(Config{SampleEvery: n, Seed: 7})
+	c := New(Config{SampleEvery: n, Seed: 8})
+
+	ids := make([]TraceID, 4096)
+	gen := New(Config{Seed: 99})
+	for i := range ids {
+		ids[i] = gen.newTraceID()
+	}
+
+	sampled, differs := 0, 0
+	for _, id := range ids {
+		if a.Sampled(id) != a.Sampled(id) || a.Sampled(id) != b.Sampled(id) {
+			t.Fatalf("decision for %s is not deterministic across same-seed tracers", id)
+		}
+		if a.Sampled(id) {
+			sampled++
+		}
+		if a.Sampled(id) != c.Sampled(id) {
+			differs++
+		}
+	}
+	// 4096 trials at p=1/8: expect 512, allow a wide ±50% band — this
+	// checks the rate is wired through, not the mixer's quality.
+	if sampled < 256 || sampled > 768 {
+		t.Errorf("sampled %d of 4096 at 1-in-%d, want roughly 512", sampled, n)
+	}
+	if differs == 0 {
+		t.Error("seeds 7 and 8 made identical decisions on all 4096 IDs")
+	}
+
+	// SampleEvery 1 keeps everything; 0 keeps nothing at the head.
+	if !New(Config{SampleEvery: 1}).Sampled(ids[0]) {
+		t.Error("SampleEvery=1 did not sample")
+	}
+	if New(Config{SampleEvery: 0}).Sampled(ids[0]) {
+		t.Error("SampleEvery=0 head-sampled")
+	}
+}
+
+// TestAlwaysCaptureSlowAndError: with head sampling effectively off,
+// slow and 5xx requests still publish, tagged with the right reason;
+// a fast 2xx does not.
+func TestAlwaysCaptureSlowAndError(t *testing.T) {
+	tr := New(Config{SampleEvery: 0, SlowRequest: time.Nanosecond, Seed: 1})
+	root, _ := tr.StartRequest(context.Background(), "/slow", "")
+	time.Sleep(time.Microsecond)
+	if reason := root.EndRequest(200); reason != "slow" {
+		t.Fatalf("slow request reason = %q, want slow", reason)
+	}
+
+	tr2 := New(Config{SampleEvery: 0, Seed: 1}) // no slow trigger
+	root, _ = tr2.StartRequest(context.Background(), "/err", "")
+	if reason := root.EndRequest(503); reason != "error" {
+		t.Fatalf("5xx request reason = %q, want error", reason)
+	}
+	root, _ = tr2.StartRequest(context.Background(), "/ok", "")
+	if reason := root.EndRequest(200); reason != "" {
+		t.Fatalf("fast 2xx reason = %q, want discarded", reason)
+	}
+	if _, total := tr2.Ring().Snapshot(); total != 1 {
+		t.Fatalf("ring total = %d, want only the error trace", total)
+	}
+}
+
+// TestSpanAndAttrBounds: the per-trace span cap and per-span attr cap
+// hold, with the overflow counted in Dropped rather than grown.
+func TestSpanAndAttrBounds(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, MaxSpans: 4, MaxAttrs: 2, Seed: 3})
+	root, _ := tr.StartRequest(context.Background(), "/", "")
+	for i := 0; i < 10; i++ {
+		c := root.StartChild(fmt.Sprintf("c%d", i))
+		for j := 0; j < 10; j++ {
+			c.SetAttrInt("k", int64(j))
+		}
+		c.End()
+	}
+	root.EndRequest(200)
+	traces, _ := tr.Ring().Snapshot()
+	tc := traces[0]
+	if len(tc.Spans) != 5 { // root + MaxSpans children
+		t.Fatalf("kept %d spans, want 5", len(tc.Spans))
+	}
+	if tc.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", tc.Dropped)
+	}
+	for _, r := range tc.Spans[1:] {
+		if len(r.Attrs) != 2 {
+			t.Fatalf("span %s kept %d attrs, want cap 2", r.Name, len(r.Attrs))
+		}
+	}
+}
+
+// TestDoubleEnd: ending a span twice records it once; EndRequest
+// after End is a no-op.
+func TestDoubleEnd(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, Seed: 5})
+	root, _ := tr.StartRequest(context.Background(), "/", "")
+	c := root.StartChild("c")
+	c.End()
+	c.End()
+	if reason := root.EndRequest(200); reason == "" {
+		t.Fatal("first EndRequest discarded")
+	}
+	if reason := root.EndRequest(200); reason != "" {
+		t.Fatalf("second EndRequest republished (%q)", reason)
+	}
+	traces, total := tr.Ring().Snapshot()
+	if total != 1 || len(traces[0].Spans) != 2 {
+		t.Fatalf("total=%d spans=%d, want 1 trace with 2 spans", total, len(traces[0].Spans))
+	}
+}
+
+// TestRingEviction: the ring keeps exactly the newest Cap traces,
+// newest-first, and Total keeps counting past the wrap.
+func TestRingEviction(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 11; i++ {
+		r.Add(&Trace{Route: fmt.Sprintf("/t%d", i)})
+	}
+	traces, total := r.Snapshot()
+	if total != 11 {
+		t.Fatalf("total = %d, want 11", total)
+	}
+	if len(traces) != 4 {
+		t.Fatalf("kept %d, want ring cap 4", len(traces))
+	}
+	for i, tc := range traces {
+		if want := fmt.Sprintf("/t%d", 10-i); tc.Route != want {
+			t.Errorf("snapshot[%d] = %s, want %s (newest first)", i, tc.Route, want)
+		}
+	}
+}
+
+// TestRingConcurrent is the -race twin: many goroutines publishing
+// complete traces while others snapshot.  Every snapshot must be
+// consistent — non-nil traces only, each at most once, never more
+// than Cap.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Add(&Trace{Route: fmt.Sprintf("/w%d/%d", w, i)})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				traces, _ := r.Snapshot()
+				if len(traces) > r.Cap() {
+					t.Errorf("snapshot len %d > cap %d", len(traces), r.Cap())
+					return
+				}
+				seen := map[*Trace]bool{}
+				for _, tc := range traces {
+					if tc == nil {
+						t.Error("snapshot contains nil trace")
+						return
+					}
+					if seen[tc] {
+						t.Error("snapshot contains duplicate trace")
+						return
+					}
+					seen[tc] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := r.Total(); got != writers*perWriter {
+		t.Fatalf("total = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestConcurrentChildSpans is the -race twin for the per-request
+// trace buffer: children ended from several goroutines (a handler
+// fanning work out) all land in the published trace.
+func TestConcurrentChildSpans(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, MaxSpans: 64, Seed: 11})
+	root, _ := tr.StartRequest(context.Background(), "/fan", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.StartChild(fmt.Sprintf("shard%d", i))
+			c.SetAttrInt("i", int64(i))
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	root.EndRequest(200)
+	traces, _ := tr.Ring().Snapshot()
+	if len(traces[0].Spans) != 17 {
+		t.Fatalf("published %d spans, want 17", len(traces[0].Spans))
+	}
+}
+
+// TestIDUniqueness: IDs from one tracer never repeat or go zero over
+// a large draw (the generator is a counter walk through a bijective
+// mixer, so this is exact, not probabilistic).
+func TestIDUniqueness(t *testing.T) {
+	tr := New(Config{Seed: 1})
+	seenT := map[TraceID]bool{}
+	seenS := map[SpanID]bool{}
+	for i := 0; i < 10000; i++ {
+		tid, sid := tr.newTraceID(), tr.newSpanID()
+		if tid.IsZero() || sid.IsZero() {
+			t.Fatal("zero ID minted")
+		}
+		if seenT[tid] || seenS[sid] {
+			t.Fatal("duplicate ID minted")
+		}
+		seenT[tid], seenS[sid] = true, true
+	}
+}

@@ -1,0 +1,97 @@
+package span
+
+import (
+	"context"
+	"testing"
+)
+
+func TestParseTraceParent(t *testing.T) {
+	tid, parent, sampled, ok := ParseTraceParent(
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("canonical spec example rejected")
+	}
+	if tid.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", tid)
+	}
+	if parent.String() != "00f067aa0ba902b7" {
+		t.Errorf("parent id = %s", parent)
+	}
+	if !sampled {
+		t.Error("flags 01 not read as sampled")
+	}
+
+	if _, _, sampled, ok = ParseTraceParent(
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"); !ok || sampled {
+		t.Errorf("flags 00: ok=%v sampled=%v, want accepted unsampled", ok, sampled)
+	}
+
+	// A future version may append dash-separated fields.
+	if _, _, _, ok = ParseTraceParent(
+		"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("future-version suffix rejected")
+	}
+
+	for _, bad := range []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // version 00 has no suffix
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // reserved version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero parent id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",   // uppercase forbidden
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // wrong separator
+		"0g-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // bad version hex
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",   // bad id hex
+	} {
+		if _, _, _, ok := ParseTraceParent(bad); ok {
+			t.Errorf("malformed %q accepted", bad)
+		}
+	}
+}
+
+func TestFormatTraceParentRoundTrip(t *testing.T) {
+	tr := New(Config{Seed: 17})
+	tid, sid := tr.newTraceID(), tr.newSpanID()
+	for _, sampled := range []bool{true, false} {
+		h := FormatTraceParent(tid, sid, sampled)
+		gt, gp, gs, ok := ParseTraceParent(h)
+		if !ok || gt != tid || gp != sid || gs != sampled {
+			t.Fatalf("round trip of %q: ok=%v tid=%s parent=%s sampled=%v", h, ok, gt, gp, gs)
+		}
+	}
+}
+
+// TestPropagationAdoptsUpstreamIdentity: a request arriving with a
+// valid traceparent continues that trace — same trace ID, remote
+// parent on the root span — and the sampled flag forces capture even
+// with head sampling off.
+func TestPropagationAdoptsUpstreamIdentity(t *testing.T) {
+	tr := New(Config{SampleEvery: 0, Seed: 9})
+	const upstream = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	root, _ := tr.StartRequest(context.Background(), "/v1/parse", upstream)
+	if root.TraceID() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %s, want the upstream's", root.TraceID())
+	}
+	if reason := root.EndRequest(200); reason != "head" {
+		t.Fatalf("reason = %q, want head (upstream sampled flag forces capture)", reason)
+	}
+	traces, _ := tr.Ring().Snapshot()
+	if got := traces[0].Spans[0].ParentID; got != "00f067aa0ba902b7" {
+		t.Fatalf("root parent = %s, want the upstream span id", got)
+	}
+
+	// The outgoing header hands the trace on with this span as parent.
+	root2, _ := tr.StartRequest(context.Background(), "/v1/parse", upstream)
+	if want := "00-4bf92f3577b34da6a3ce929d0e0e4736-" + root2.ID() + "-01"; root2.TraceParent() != want {
+		t.Fatalf("outgoing traceparent = %q, want %q", root2.TraceParent(), want)
+	}
+
+	// An unsampled upstream header with sampling off: identity adopted,
+	// trace discarded.
+	root3, _ := tr.StartRequest(context.Background(), "/v1/parse",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if reason := root3.EndRequest(200); reason != "" {
+		t.Fatalf("unsampled upstream captured (%q)", reason)
+	}
+}

@@ -102,6 +102,25 @@ func (h *Histogram) WritePrometheus(w io.Writer, name, help string) error {
 	return err
 }
 
+// WriteBuckets emits the histogram's samples — cumulative buckets,
+// sum, count — under the given preformatted label set, for families
+// declared once with WriteMetricHead and populated per label set
+// (the per-route latency histograms).  The le label is appended after
+// the caller's labels, matching Prometheus convention.
+func (h *Histogram) WriteBuckets(w io.Writer, name, labels string) error {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, formatBound(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	_, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n%s_sum{%s} %g\n%s_count{%s} %d\n",
+		name, labels, cum, name, labels, math.Float64frombits(h.sum.Load()), name, labels, cum)
+	return err
+}
+
 // formatBound renders a bucket bound the way Prometheus clients
 // conventionally do: shortest decimal that round-trips.
 func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
@@ -118,6 +137,31 @@ func WriteCounter(w io.Writer, name, help string, v uint64) error {
 // format.
 func WriteGauge(w io.Writer, name, help string, v int64) error {
 	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	return err
+}
+
+// WriteGaugeFloat is WriteGauge for non-integer quantities (uptime
+// seconds, cumulative GC pause seconds).
+func WriteGaugeFloat(w io.Writer, name, help string, v float64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	return err
+}
+
+// WriteMetricHead emits the HELP/TYPE preamble of a labeled metric
+// family; the samples follow via WriteSample (counters/gauges) or
+// Histogram.WriteBuckets.  Splitting the preamble from the samples is
+// what lets one family carry several label sets — the per-route
+// request metrics are the canonical user.
+func WriteMetricHead(w io.Writer, name, typ, help string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+// WriteSample emits one sample of an already-declared metric family
+// under a preformatted label set (`route="/v1/shortest"` — the caller
+// owns quoting and comma-joining).
+func WriteSample(w io.Writer, name, labels string, v uint64) error {
+	_, err := fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
 	return err
 }
 

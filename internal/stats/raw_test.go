@@ -82,6 +82,56 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+// TestLabeledFamilyExposition pins the split-family format: one
+// HELP/TYPE head, then labeled samples — counters via WriteSample,
+// histograms via WriteBuckets with the le label appended after the
+// caller's labels.
+func TestLabeledFamilyExposition(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMetricHead(&sb, "r_total", "counter", "requests by route."); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSample(&sb, "r_total", `route="/a"`, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSample(&sb, "r_total", `route="/b",class="4xx"`, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	h := NewHistogram(0.001, 0.01)
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	if err := WriteMetricHead(&sb, "r_seconds", "histogram", "latency by route."); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteBuckets(&sb, "r_seconds", `route="/a"`); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := WriteGaugeFloat(&sb, "up_seconds", "uptime.", 1.5); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# HELP r_total requests by route.
+# TYPE r_total counter
+r_total{route="/a"} 3
+r_total{route="/b",class="4xx"} 0
+# HELP r_seconds latency by route.
+# TYPE r_seconds histogram
+r_seconds_bucket{route="/a",le="0.001"} 1
+r_seconds_bucket{route="/a",le="0.01"} 1
+r_seconds_bucket{route="/a",le="+Inf"} 2
+r_seconds_sum{route="/a"} 0.5005
+r_seconds_count{route="/a"} 2
+# HELP up_seconds uptime.
+# TYPE up_seconds gauge
+up_seconds 1.5
+`
+	if sb.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
 func TestWriteCounterAndGauge(t *testing.T) {
 	var sb strings.Builder
 	if err := WriteCounter(&sb, "a_total", "a help", 7); err != nil {

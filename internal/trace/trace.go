@@ -143,6 +143,74 @@ type Conversion struct {
 // Reset zeroes the record in place (allocation-free reuse).
 func (c *Conversion) Reset() { *c = Conversion{} }
 
+// Summary renders the record as one compact key=value line — the form
+// a request span or a log field carries when the full struct is too
+// wide.  Fields a backend does not exercise are omitted, so a fast
+// path summary reads "backend=ryu digits=17 k=0" while an exact
+// conversion adds its Table-1 case, scaling story, and loop counts.
+func (c *Conversion) Summary() string {
+	var b []byte
+	b = append(b, "backend="...)
+	b = append(b, c.Backend.String()...)
+	if c.FastPathMiss {
+		b = append(b, " fastpath=miss"...)
+	}
+	if c.Table1Case != 0 {
+		b = appendKV(b, "case", c.Table1Case)
+	}
+	if c.ScaleMethod != "" {
+		b = append(b, " scale="...)
+		b = append(b, c.ScaleMethod...)
+		b = appendKV(b, "estimate_k", c.EstimateK)
+		b = appendKV(b, "fixup", c.FixupSteps)
+	}
+	if c.Iterations != 0 {
+		b = appendKV(b, "iterations", c.Iterations)
+	}
+	switch {
+	case c.TieBreak:
+		b = append(b, " term=tie"...)
+	case c.TC1 && c.TC2:
+		b = append(b, " term=tc1+tc2"...)
+	case c.TC1:
+		b = append(b, " term=tc1"...)
+	case c.TC2:
+		b = append(b, " term=tc2"...)
+	}
+	if c.RoundedUp {
+		b = append(b, " rounded=up"...)
+		if c.CarriedK {
+			b = append(b, " carried=k"...)
+		}
+	}
+	b = appendKV(b, "digits", c.Digits)
+	b = appendKV(b, "k", c.K)
+	return string(b)
+}
+
+// appendKV appends " key=value" with a minimal signed-int formatter
+// (the package imports nothing, strconv included).
+func appendKV(b []byte, key string, v int) []byte {
+	b = append(b, ' ')
+	b = append(b, key...)
+	b = append(b, '=')
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var d [20]byte
+	i := len(d)
+	for {
+		i--
+		d[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, d[i:]...)
+}
+
 // Recorder consumes conversion records.  Implementations must tolerate
 // concurrent Record calls when shared across goroutines (the aggregate
 // recorder in internal/stats is the canonical shared implementation); the

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # End-to-end exercise of the fpserved conversion service: boot on a
-# random port with the debug surface enabled, hit every endpoint, check
-# the 10k-value batch stream byte-for-byte against the fpprint
-# reference, round-trip that output through the /v1/batch-parse
-# ingestion engine and back, round-trip interval text through
-# /v1/interval with an enclosure assertion, scrape /metrics (including
-# the conversion-trace, batch-parse, and interval gauges),
-# exercise /debug/pprof and /debug/exemplars, verify request ids tie
-# responses to the structured access log, and verify graceful shutdown
-# drains and exits 0 within the drain deadline.
+# random port with the debug surface and request tracing enabled, hit
+# every endpoint, check the 10k-value batch stream byte-for-byte
+# against the fpprint reference, round-trip that output through the
+# /v1/batch-parse ingestion engine and back, round-trip interval text
+# through /v1/interval with an enclosure assertion, propagate a W3C
+# traceparent end to end (response header, access log, and
+# /debug/traces), scrape /metrics (including the per-route RED
+# metrics, the runtime collector, and the conversion-trace,
+# batch-parse, and interval gauges), exercise /debug/pprof and
+# /debug/exemplars, verify request ids tie responses to the structured
+# access log, and verify graceful shutdown drains and exits 0 within
+# the drain deadline.
 #
 # Run from the repository root:  ./scripts/serve_e2e.sh
 set -euo pipefail
@@ -29,8 +32,9 @@ go build -o "$workdir/fpprint" ./cmd/fpprint
 
 echo "== boot on a random port =="
 # -slow-request 1ns makes every request an exemplar, so the ring is
-# guaranteed non-empty by the time /debug/exemplars is checked.
-"$workdir/fpserved" -addr 127.0.0.1:0 -drain 10s -debug -slow-request 1ns >"$workdir/serve.log" 2>&1 &
+# guaranteed non-empty by the time /debug/exemplars is checked;
+# -trace-sample 1 traces every request so /debug/traces is populated.
+"$workdir/fpserved" -addr 127.0.0.1:0 -drain 10s -debug -slow-request 1ns -trace-sample 1 -trace-ring 128 >"$workdir/serve.log" 2>&1 &
 pid=$!
 
 addr=""
@@ -108,6 +112,35 @@ done
 [ -n "$found" ] || { cat "$workdir/serve.log" >&2; fail "request_id=$req_id not in access log"; }
 grep "request_id=$req_id" "$workdir/serve.log" | grep -q "path=/v1/shortest" \
   || fail "access log line for $req_id missing path"
+grep "request_id=$req_id" "$workdir/serve.log" | grep -q "trace_id=" \
+  || fail "access log line for $req_id missing trace_id"
+
+echo "== W3C traceparent: propagation into header, log, and /debug/traces =="
+upstream_trace="4bf92f3577b34da6a3ce929d0e0e4736"
+upstream_span="00f067aa0ba902b7"
+trace_id="$(curl -fsS -D - -o /dev/null \
+  -H "traceparent: 00-$upstream_trace-$upstream_span-01" \
+  "$base/v1/shortest?v=0.25" \
+  | tr -d '\r' | sed -n 's/^X-Trace-Id: //pI' | head -n1)"
+[ "$trace_id" = "$upstream_trace" ] || fail "X-Trace-Id = $trace_id, want adopted upstream $upstream_trace"
+# The trace publishes when the root span ends; give the ring a beat.
+found=""
+for _ in $(seq 1 50); do
+  curl -fsS "$base/debug/traces?route=/v1/shortest" >"$workdir/traces.json"
+  if grep -q "$upstream_trace" "$workdir/traces.json"; then found=1; break; fi
+  sleep 0.1
+done
+[ -n "$found" ] || { cat "$workdir/traces.json" >&2; fail "upstream trace id not in /debug/traces"; }
+grep -q "\"parent_id\":\"$upstream_span\"" "$workdir/traces.json" \
+  || fail "/debug/traces root span not parented on upstream span $upstream_span"
+for span_name in decode convert encode; do
+  grep -q "\"name\":\"$span_name\"" "$workdir/traces.json" \
+    || fail "/debug/traces missing $span_name child span"
+done
+grep -q '"key":"backend"' "$workdir/traces.json" \
+  || fail "/debug/traces convert span missing backend attribute"
+grep "trace_id=$upstream_trace" "$workdir/serve.log" | grep -q "path=/v1/shortest" \
+  || fail "access log missing trace_id=$upstream_trace line"
 
 echo "== /v1/batch: 10k values, byte-identical to the fpprint reference =="
 awk 'BEGIN { srand(7); for (i = 0; i < 10000; i++) printf "%.17g\n", (rand() - 0.5) * exp((rand() - 0.5) * 200) }' \
@@ -136,15 +169,46 @@ curl -fsS "$base/metrics" >"$workdir/metrics.txt"
 batch_values="$(awk '$1 == "floatprint_batch_values_total" { print $2 }' "$workdir/metrics.txt")"
 [ -n "$batch_values" ] || fail "floatprint_batch_values_total missing from /metrics"
 [ "$batch_values" -ge 10000 ] || fail "floatprint_batch_values_total = $batch_values, want >= 10000"
-requests="$(awk '$1 == "fpserved_requests_total" { print $2 }' "$workdir/metrics.txt")"
-[ -n "$requests" ] || fail "fpserved_requests_total missing from /metrics"
-# Seventeen conversion requests so far (six shortest — including the
-# two backend selections and the rejected backend=bogus, counted at
-# receipt — one fixed, three parse, three interval, one batch, two
-# batch-parse, and the round-trip batch); /healthz, /metrics, and
-# /debug bypass the instrumented chain and are deliberately not
-# counted.
-[ "$requests" -eq 17 ] || fail "fpserved_requests_total = $requests, want 17"
+# fpserved_requests_total is labeled by route; sum the samples for the
+# process total and pin the per-route breakdown exactly.
+requests="$(awk '/^fpserved_requests_total\{/ { sum += $2 } END { print sum+0 }' "$workdir/metrics.txt")"
+# Eighteen conversion requests so far (seven shortest — including the
+# two backend selections, the rejected backend=bogus counted at
+# receipt, and the traceparent-propagation request — one fixed, three
+# parse, three interval, one batch, two batch-parse, and the
+# round-trip batch); /healthz, /metrics, and /debug bypass the
+# instrumented chain and are deliberately not counted.
+[ "$requests" -eq 18 ] || fail "fpserved_requests_total sums to $requests, want 18"
+
+echo "== /metrics: per-route RED breakdown =="
+grep -q 'fpserved_requests_total{route="/v1/shortest"} 7' "$workdir/metrics.txt" \
+  || fail "per-route requests_total for /v1/shortest wrong: $(grep 'fpserved_requests_total{route="/v1/shortest"}' "$workdir/metrics.txt")"
+grep -q 'fpserved_requests_total{route="/v1/batch"} 2' "$workdir/metrics.txt" \
+  || fail "per-route requests_total for /v1/batch wrong"
+# backend=bogus was the one 4xx on the shortest route; batch-parse saw
+# the malformed-token 400.
+grep -q 'fpserved_request_errors_total{route="/v1/shortest",class="4xx"} 1' "$workdir/metrics.txt" \
+  || fail "per-route 4xx for /v1/shortest wrong"
+grep -q 'fpserved_request_errors_total{route="/v1/batch-parse",class="4xx"} 1' "$workdir/metrics.txt" \
+  || fail "per-route 4xx for /v1/batch-parse wrong"
+grep -q 'fpserved_request_errors_total{route="/v1/shortest",class="5xx"} 0' "$workdir/metrics.txt" \
+  || fail "per-route 5xx for /v1/shortest wrong"
+grep -q 'fpserved_request_seconds_count{route="/v1/shortest"} 7' "$workdir/metrics.txt" \
+  || fail "per-route latency histogram count for /v1/shortest wrong"
+grep -q 'fpserved_request_seconds_bucket{route="/v1/batch",le="+Inf"} 2' "$workdir/metrics.txt" \
+  || fail "per-route latency histogram for /v1/batch wrong"
+
+echo "== /metrics: runtime collector =="
+goroutines="$(awk '$1 == "fpserved_goroutines" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$goroutines" ] && [ "$goroutines" -ge 1 ] || fail "fpserved_goroutines missing or zero"
+heap="$(awk '$1 == "fpserved_heap_alloc_bytes" { print $2 }' "$workdir/metrics.txt")"
+[ -n "$heap" ] && [ "$heap" -ge 1 ] || fail "fpserved_heap_alloc_bytes missing or zero"
+grep -q '^fpserved_gomaxprocs ' "$workdir/metrics.txt" || fail "fpserved_gomaxprocs missing"
+grep -q '^fpserved_gc_cycles_total ' "$workdir/metrics.txt" || fail "fpserved_gc_cycles_total missing"
+grep -q '^fpserved_uptime_seconds ' "$workdir/metrics.txt" || fail "fpserved_uptime_seconds missing"
+grep -q '^fpserved_build_info{go_version="go' "$workdir/metrics.txt" \
+  || fail "fpserved_build_info missing go_version label"
+grep -q 'instance="' "$workdir/metrics.txt" || fail "fpserved_build_info missing instance label"
 
 echo "== /metrics: batch-parse engine counters =="
 bp_values="$(awk '$1 == "floatprint_batch_parse_values_total" { print $2 }' "$workdir/metrics.txt")"
@@ -208,6 +272,8 @@ grep -q '"path":"/v1/batch"' "$workdir/exemplars.json" \
   || fail "/debug/exemplars missing the batch request exemplar"
 grep -q "\"id\":\"$req_id\"" "$workdir/exemplars.json" \
   || fail "/debug/exemplars missing exemplar for request $req_id"
+grep -q "\"trace_id\":\"$upstream_trace\"" "$workdir/exemplars.json" \
+  || fail "/debug/exemplars missing trace_id link for the traced request"
 
 echo "== graceful shutdown =="
 kill -TERM "$pid"

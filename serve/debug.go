@@ -50,12 +50,15 @@ func RequestID(ctx context.Context) string {
 	return id
 }
 
-// exemplar is one captured slow request, shaped for JSON at
-// /debug/exemplars.  It deliberately carries only what an operator needs
-// to go find the full story elsewhere (the request id links it to the
-// structured log; the path and duration say why it was captured).
+// exemplar is one captured slow or failed (5xx) request, shaped for
+// JSON at /debug/exemplars.  It deliberately carries only what an
+// operator needs to go find the full story elsewhere (the request id
+// links it to the structured log, the trace id — when tracing is on —
+// to /debug/traces; the path, status, and duration say why it was
+// captured).
 type exemplar struct {
 	ID         string    `json:"id"`
+	TraceID    string    `json:"trace_id,omitempty"`
 	Method     string    `json:"method"`
 	Path       string    `json:"path"`
 	Status     int       `json:"status"`

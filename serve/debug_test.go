@@ -75,7 +75,7 @@ func TestAccessLogWarnsOn5xx(t *testing.T) {
 	s, _ := newTestServer(t, Config{
 		Slog: slog.New(slog.NewTextHandler(&logBuf, nil)),
 	})
-	h := s.instrumented(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	h := s.instrumented("/v1/shortest", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "deliberate failure", http.StatusInternalServerError)
 	}))
 	req, _ := http.NewRequest(http.MethodGet, "/v1/shortest?v=1", nil)

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"floatprint"
+	"floatprint/internal/span"
 	"floatprint/interval"
 )
 
@@ -87,15 +88,30 @@ func parseFloatParam(q url.Values, name string, bitSize int) (float64, error) {
 	return v, nil
 }
 
-// writeDigits renders d under opts and writes it as one text line.
-func writeDigits(w http.ResponseWriter, d floatprint.Digits, opts *floatprint.Options) {
+// writeDigits renders d under opts and writes it as one text line,
+// timing the rendering as the request's encode span.
+func writeDigits(w http.ResponseWriter, sp *span.Span, d floatprint.Digits, opts *floatprint.Options) {
+	enc := sp.StartChild("encode")
 	out, err := d.Append(make([]byte, 0, 32), opts)
 	if err != nil {
+		enc.End()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	enc.SetAttrInt("bytes", int64(len(out)+1))
+	enc.End()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write(append(out, '\n'))
+}
+
+// convRecord allocates a per-conversion algorithm record when the
+// conversion span is live, nil otherwise — the traced API twins are
+// only worth calling when there is a span to attach the record to.
+func convRecord(sp *span.Span) *floatprint.Trace {
+	if sp.Recording() {
+		return new(floatprint.Trace)
+	}
+	return nil
 }
 
 // handleShortest serves GET /v1/shortest: the free-format (shortest
@@ -105,33 +121,43 @@ func (s *Server) handleShortest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	sp := span.FromContext(r.Context())
+	dec := sp.StartChild("decode")
 	q := r.URL.Query()
 	opts, err := optionsFromQuery(q)
+	bits32 := q.Get("bits") == "32"
+	var v float64
+	if err == nil {
+		if bits32 {
+			v, err = parseValue(q, 32)
+		} else {
+			v, err = parseValue(q, 64)
+		}
+	}
+	dec.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	conv := sp.StartChild("convert")
 	var d floatprint.Digits
-	if q.Get("bits") == "32" {
-		v, verr := parseValue(q, 32)
-		if verr != nil {
-			http.Error(w, verr.Error(), http.StatusBadRequest)
-			return
-		}
+	if bits32 {
+		// The traced twins are 64-bit only; single precision converts
+		// through the plain API, span timing still applies.
+		conv.SetAttr("bits", "32")
 		d, err = floatprint.ShortestDigits32(float32(v), opts)
+	} else if rec := convRecord(conv); rec != nil {
+		d, err = floatprint.ShortestDigitsTraced(v, opts, rec)
+		attachConversion(conv, rec)
 	} else {
-		v, verr := parseValue(q, 64)
-		if verr != nil {
-			http.Error(w, verr.Error(), http.StatusBadRequest)
-			return
-		}
 		d, err = floatprint.ShortestDigits(v, opts)
 	}
+	conv.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeDigits(w, d, opts)
+	writeDigits(w, sp, d, opts)
 }
 
 // handleParse serves GET /v1/parse: reads the s query parameter with
@@ -147,38 +173,56 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	sp := span.FromContext(r.Context())
+	dec := sp.StartChild("decode")
 	q := r.URL.Query()
 	opts, err := optionsFromQuery(q)
+	in := q.Get("s")
+	if err == nil && in == "" {
+		err = errors.New("missing s parameter")
+	}
+	dec.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	in := q.Get("s")
-	if in == "" {
-		http.Error(w, "missing s parameter", http.StatusBadRequest)
-		return
-	}
+	conv := sp.StartChild("convert")
 	var d floatprint.Digits
 	if q.Get("bits") == "32" {
+		conv.SetAttr("bits", "32")
 		v, perr := floatprint.Parse32(in, opts)
 		if perr != nil && !errors.Is(perr, floatprint.ErrRange) {
+			conv.End()
 			http.Error(w, perr.Error(), http.StatusBadRequest)
 			return
 		}
 		d, err = floatprint.ShortestDigits32(v, opts)
 	} else {
-		v, perr := floatprint.Parse(in, opts)
+		// The parse is this endpoint's conversion of interest — the
+		// attached algorithm record describes the read path (fast-path
+		// certification, exact fallback), not the response rendering.
+		rec := convRecord(conv)
+		var v float64
+		var perr error
+		if rec != nil {
+			v, perr = floatprint.ParseTraced(in, opts, rec)
+			attachConversion(conv, rec)
+		} else {
+			v, perr = floatprint.Parse(in, opts)
+		}
 		if perr != nil && !errors.Is(perr, floatprint.ErrRange) {
+			conv.End()
 			http.Error(w, perr.Error(), http.StatusBadRequest)
 			return
 		}
 		d, err = floatprint.ShortestDigits(v, opts)
 	}
+	conv.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeDigits(w, d, opts)
+	writeDigits(w, sp, d, opts)
 }
 
 // handleInterval serves GET /v1/interval: interval I/O with the
@@ -195,34 +239,37 @@ func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	sp := span.FromContext(r.Context())
+	dec := sp.StartChild("decode")
 	q := r.URL.Query()
 	opts, err := optionsFromQuery(q)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
 	in := q.Get("s")
 	hasPair := q.Get("lo") != "" || q.Get("hi") != ""
-	if (in == "") == !hasPair {
-		http.Error(w, "exactly one of s=[lo,hi] or lo=&hi= is required", http.StatusBadRequest)
-		return
+	if err == nil && (in == "") == !hasPair {
+		err = errors.New("exactly one of s=[lo,hi] or lo=&hi= is required")
 	}
 	var iv interval.Interval
-	if in != "" {
-		iv, err = interval.Parse(in, opts)
-	} else {
-		var lo, hi float64
-		if lo, err = parseFloatParam(q, "lo", 64); err == nil {
-			if hi, err = parseFloatParam(q, "hi", 64); err == nil {
-				iv, err = interval.New(lo, hi)
+	if err == nil {
+		if in != "" {
+			iv, err = interval.Parse(in, opts)
+		} else {
+			var lo, hi float64
+			if lo, err = parseFloatParam(q, "lo", 64); err == nil {
+				if hi, err = parseFloatParam(q, "hi", 64); err == nil {
+					iv, err = interval.New(lo, hi)
+				}
 			}
 		}
 	}
+	dec.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Interval conversion has no traced twin; the span still times it.
+	conv := sp.StartChild("convert")
 	out, err := interval.AppendShortest(make([]byte, 0, 64), iv, opts)
+	conv.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -240,59 +287,64 @@ func (s *Server) handleFixed(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	sp := span.FromContext(r.Context())
+	dec := sp.StartChild("decode")
 	q := r.URL.Query()
 	opts, err := optionsFromQuery(q)
+	ns, ps := q.Get("n"), q.Get("pos")
+	if err == nil && (ns == "") == (ps == "") {
+		err = errors.New("exactly one of n (significant digits) or pos (absolute position) is required")
+	}
+	var n, pos int
+	var v float64
+	bits32 := q.Get("bits") == "32"
+	if err == nil {
+		switch {
+		case ns != "":
+			if n, err = strconv.Atoi(ns); err != nil {
+				err = fmt.Errorf("bad n %q", ns)
+			} else if bits32 {
+				v, err = parseValue(q, 32)
+			} else {
+				v, err = parseValue(q, 64)
+			}
+		default:
+			if pos, err = strconv.Atoi(ps); err != nil {
+				err = fmt.Errorf("bad pos %q", ps)
+			} else {
+				v, err = parseValue(q, 64)
+			}
+		}
+	}
+	dec.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ns, ps := q.Get("n"), q.Get("pos")
-	if (ns == "") == (ps == "") {
-		http.Error(w, "exactly one of n (significant digits) or pos (absolute position) is required",
-			http.StatusBadRequest)
-		return
-	}
+	conv := sp.StartChild("convert")
+	rec := convRecord(conv)
 	var d floatprint.Digits
 	switch {
+	case ns != "" && bits32:
+		conv.SetAttr("bits", "32")
+		d, err = floatprint.FixedDigits32(float32(v), n, opts)
+	case ns != "" && rec != nil:
+		d, err = floatprint.FixedDigitsTraced(v, n, opts, rec)
+		attachConversion(conv, rec)
 	case ns != "":
-		n, aerr := strconv.Atoi(ns)
-		if aerr != nil {
-			http.Error(w, fmt.Sprintf("bad n %q", ns), http.StatusBadRequest)
-			return
-		}
-		if q.Get("bits") == "32" {
-			v, verr := parseValue(q, 32)
-			if verr != nil {
-				http.Error(w, verr.Error(), http.StatusBadRequest)
-				return
-			}
-			d, err = floatprint.FixedDigits32(float32(v), n, opts)
-		} else {
-			v, verr := parseValue(q, 64)
-			if verr != nil {
-				http.Error(w, verr.Error(), http.StatusBadRequest)
-				return
-			}
-			d, err = floatprint.FixedDigits(v, n, opts)
-		}
+		d, err = floatprint.FixedDigits(v, n, opts)
+	case rec != nil:
+		d, err = floatprint.FixedPositionDigitsTraced(v, pos, opts, rec)
+		attachConversion(conv, rec)
 	default:
-		pos, aerr := strconv.Atoi(ps)
-		if aerr != nil {
-			http.Error(w, fmt.Sprintf("bad pos %q", ps), http.StatusBadRequest)
-			return
-		}
-		v, verr := parseValue(q, 64)
-		if verr != nil {
-			http.Error(w, verr.Error(), http.StatusBadRequest)
-			return
-		}
 		d, err = floatprint.FixedPositionDigits(v, pos, opts)
 	}
+	conv.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeDigits(w, d, opts)
+	writeDigits(w, sp, d, opts)
 }
 
 // batchBlockValues is how many input values accumulate before a block
@@ -322,10 +374,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
 
 	st := &batchStream{s: s, w: w, r: r}
+	// One convert span covers the whole stream: decode and conversion
+	// interleave block by block, so per-stage children would mostly
+	// measure each other.  The deferred End keeps the span honest on
+	// the abort path (st.fail panics after output has started).
+	conv := span.FromContext(r.Context()).StartChild("convert")
+	defer func() {
+		conv.SetAttrInt("values", st.values)
+		conv.End()
+	}()
 	var err error
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		conv.SetAttr("format", "binary")
 		err = st.runBinary(body)
 	} else {
+		conv.SetAttr("format", "ndjson")
 		err = st.runNDJSON(body)
 	}
 	if err != nil {
@@ -342,6 +405,7 @@ type batchStream struct {
 	r       *http.Request
 	block   []float64
 	started bool
+	values  int64 // values accepted so far, for the convert span
 }
 
 // statusError carries the HTTP status a pre-stream failure should map
@@ -387,6 +451,7 @@ func (st *batchStream) push(v float64) error {
 		st.block = make([]float64, 0, batchBlockValues)
 	}
 	st.block = append(st.block, v)
+	st.values++
 	if len(st.block) == cap(st.block) {
 		return st.flush()
 	}
@@ -507,7 +572,14 @@ func (s *Server) handleBatchParse(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
 	st := &batchStream{s: s, w: w, r: r}
 	pw := &packedWriter{st: st}
-	if _, err := s.pool.ParseAll(r.Context(), body, pw); err != nil {
+	conv := span.FromContext(r.Context()).StartChild("convert")
+	var parsed int64
+	defer func() {
+		conv.SetAttrInt("values", parsed)
+		conv.End()
+	}()
+	var err error
+	if parsed, err = s.pool.ParseAll(r.Context(), body, pw); err != nil {
 		st.fail(err)
 		return
 	}

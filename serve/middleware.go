@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"floatprint/internal/span"
 )
 
 // statusWriter records the status code and byte count a handler
@@ -71,57 +73,92 @@ func (s *Server) recovered(h http.Handler) http.Handler {
 	})
 }
 
-// instrumented counts every arrival and times every response,
-// sheds included: the latency histogram under overload shows the cheap
-// 429s next to the admitted work, which is exactly the shape an
-// operator needs to see.  It also assigns the request id (header,
-// context, and access log) and captures slow requests into the
-// exemplar ring.
-func (s *Server) instrumented(h http.Handler) http.Handler {
+// instrumented is the observability middleware of one route: it counts
+// every arrival and times every response, sheds included — the latency
+// histogram under overload shows the cheap 429s next to the admitted
+// work, which is exactly the shape an operator needs to see.  It
+// assigns the request id and, when tracing is on, opens the request's
+// root span (adopting an upstream W3C traceparent identity when the
+// client sent one) and carries it down via the request context.
+//
+// Identity is echoed before the handler runs: X-Request-Id and
+// X-Trace-Id are response headers on every outcome — 429 sheds, 400s,
+// and panic 500s included — because the error responses are the ones a
+// client most needs to correlate with server-side telemetry.
+//
+// All post-request accounting runs in a deferred block that also
+// observes panics: a panicking handler still lands in the per-route
+// metrics, access log, exemplar ring, and trace ring as a 500 before
+// the panic is re-raised for the outer recovered middleware to turn
+// into the wire response.  (The net/http abort sentinel keeps the
+// status the handler already committed: an aborted stream is a
+// deliberate mid-response failure, not a 500.)
+func (s *Server) instrumented(route string, h http.Handler) http.Handler {
+	rm := s.metrics.route(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.requests.Inc()
+		rm.requests.Inc()
 		id := s.reqIDs.next()
 		w.Header().Set("X-Request-Id", id)
-		r = r.WithContext(withRequestID(r.Context(), id))
+		ctx := withRequestID(r.Context(), id)
+
+		var sp *span.Span
+		if s.tracer != nil {
+			sp, ctx = s.tracer.StartRequest(ctx, route, r.Header.Get("traceparent"))
+			w.Header().Set("X-Trace-Id", sp.TraceID())
+			sp.SetAttr("request_id", id)
+			sp.SetAttr("method", r.Method)
+		}
+		r = r.WithContext(ctx)
+
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		h.ServeHTTP(sw, r)
-		dur := time.Since(start)
-		s.metrics.latency.Observe(dur.Seconds())
-		s.metrics.bytesOut.Add(uint64(sw.bytes))
-		status := sw.status
-		if status == 0 {
-			status = http.StatusOK
-		}
-		switch {
-		case status >= 500:
-			s.metrics.code5xx.Inc()
-		case status >= 400:
-			s.metrics.code4xx.Inc()
-		default:
-			s.metrics.code2xx.Inc()
-		}
-		if s.slog != nil {
-			level := slog.LevelInfo
-			if status >= 500 {
-				level = slog.LevelWarn
+		defer func() {
+			p := recover()
+			dur := time.Since(start)
+			status := sw.status
+			if p != nil && p != http.ErrAbortHandler {
+				status = http.StatusInternalServerError
 			}
-			s.slog.LogAttrs(r.Context(), level, "request",
-				slog.String("request_id", id),
-				slog.String("method", r.Method),
-				slog.String("path", r.URL.Path),
-				slog.Int("status", status),
-				slog.Int64("bytes", sw.bytes),
-				slog.Duration("duration", dur),
-			)
-		}
-		if dur >= s.cfg.SlowRequest {
-			s.exemplars.add(exemplar{
-				ID: id, Method: r.Method, Path: r.URL.Path,
-				Status: status, Bytes: sw.bytes,
-				DurationMS: float64(dur) / 1e6, Time: start.UTC(),
-			})
-		}
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.metrics.observe(rm, status, dur.Seconds(), sw.bytes)
+
+			traceID := sp.TraceID()
+			sp.SetAttrInt("status", int64(status))
+			sp.SetAttrInt("bytes", sw.bytes)
+			sp.EndRequest(status)
+
+			if s.slog != nil {
+				level := slog.LevelInfo
+				if status >= 500 {
+					level = slog.LevelWarn
+				}
+				attrs := []slog.Attr{
+					slog.String("request_id", id),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Int("status", status),
+					slog.Int64("bytes", sw.bytes),
+					slog.Duration("duration", dur),
+				}
+				if traceID != "" {
+					attrs = append(attrs, slog.String("trace_id", traceID))
+				}
+				s.slog.LogAttrs(r.Context(), level, "request", attrs...)
+			}
+			if dur >= s.cfg.SlowRequest || status >= 500 {
+				s.exemplars.add(exemplar{
+					ID: id, TraceID: traceID, Method: r.Method, Path: r.URL.Path,
+					Status: status, Bytes: sw.bytes,
+					DurationMS: float64(dur) / 1e6, Time: start.UTC(),
+				})
+			}
+			if p != nil {
+				panic(p)
+			}
+		}()
+		h.ServeHTTP(sw, r)
 	})
 }
 

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"floatprint/internal/stats"
+)
+
+// runtimeStats is the process-level collector behind /metrics: the
+// Go-runtime vitals an operator reads next to the request metrics when
+// deciding whether a latency regression is the workload or the
+// process.  It holds no state beyond the start time and the instance
+// label — every scrape reads the runtime fresh, so the numbers are as
+// current as the scrape itself.
+type runtimeStats struct {
+	start    time.Time
+	instance string
+}
+
+func newRuntimeStats(instance string) *runtimeStats {
+	return &runtimeStats{start: time.Now(), instance: instance}
+}
+
+// writePrometheus emits the runtime families.  ReadMemStats
+// stop-the-worlds briefly; at scrape frequency (seconds) that cost is
+// noise, and it is the price of heap numbers that are actually
+// coherent with each other.
+func (rs *runtimeStats) writePrometheus(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for _, g := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"fpserved_goroutines", "Live goroutines.", int64(runtime.NumGoroutine())},
+		{"fpserved_gomaxprocs", "Scheduler parallelism (GOMAXPROCS).", int64(runtime.GOMAXPROCS(0))},
+		{"fpserved_heap_alloc_bytes", "Bytes of live heap objects.", int64(ms.HeapAlloc)},
+		{"fpserved_heap_sys_bytes", "Heap memory obtained from the OS.", int64(ms.HeapSys)},
+		{"fpserved_heap_objects", "Live heap objects.", int64(ms.HeapObjects)},
+	} {
+		if err := stats.WriteGauge(w, g.name, g.help, g.v); err != nil {
+			return err
+		}
+	}
+	if err := stats.WriteCounter(w, "fpserved_gc_cycles_total",
+		"Completed GC cycles.", uint64(ms.NumGC)); err != nil {
+		return err
+	}
+	if err := stats.WriteGaugeFloat(w, "fpserved_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause.", float64(ms.PauseTotalNs)/1e9); err != nil {
+		return err
+	}
+	if err := stats.WriteGaugeFloat(w, "fpserved_uptime_seconds",
+		"Seconds since the server was constructed.", time.Since(rs.start).Seconds()); err != nil {
+		return err
+	}
+	// The build-info pseudo-gauge: always 1, the facts live in the
+	// labels.  instance is the request-id prefix, so a log line, an
+	// exemplar, and a scrape from the same process tie together.
+	_, err := fmt.Fprintf(w,
+		"# HELP fpserved_build_info Build and instance identity; value is always 1.\n"+
+			"# TYPE fpserved_build_info gauge\n"+
+			"fpserved_build_info{go_version=%q,instance=%q} 1\n",
+		runtime.Version(), rs.instance)
+	return err
+}

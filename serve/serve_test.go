@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -469,6 +470,44 @@ func TestBatchParseMetrics(t *testing.T) {
 	}
 }
 
+// metricSum sums every sample of a metric family across its label
+// sets (and accepts an unlabeled sample), for totals over the
+// per-route families.
+func metricSum(t *testing.T, scrape, name string) uint64 {
+	t.Helper()
+	var sum uint64
+	found := false
+	sc := bufio.NewScanner(strings.NewReader(scrape))
+	for sc.Scan() {
+		line := sc.Text()
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok {
+			continue
+		}
+		if strings.HasPrefix(rest, "{") {
+			i := strings.Index(rest, "} ")
+			if i < 0 {
+				continue
+			}
+			rest = rest[i+2:]
+		} else if !strings.HasPrefix(rest, " ") {
+			continue // a longer name sharing the prefix (_bucket, _sum)
+		} else {
+			rest = rest[1:]
+		}
+		v, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad value %q", name, rest)
+		}
+		sum += v
+		found = true
+	}
+	if !found {
+		t.Fatalf("metric %s not found in scrape:\n%s", name, scrape)
+	}
+	return sum
+}
+
 // metricValue extracts an unlabeled counter/gauge value from a
 // Prometheus text scrape.
 func metricValue(t *testing.T, scrape, name string) uint64 {
@@ -566,7 +605,7 @@ func TestLoadShedBurst(t *testing.T) {
 	if got := metricValue(t, scrape, "fpserved_shed_total"); got != 3*capN {
 		t.Errorf("fpserved_shed_total = %d, want %d", got, 3*capN)
 	}
-	if got := metricValue(t, scrape, "fpserved_requests_total"); got != 4*capN {
+	if got := metricSum(t, scrape, "fpserved_requests_total"); got != 4*capN {
 		t.Errorf("fpserved_requests_total = %d, want %d", got, 4*capN)
 	}
 	if got := metricValue(t, scrape, "floatprint_batch_values_total"); got != snap.BatchValues {
@@ -695,32 +734,56 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
+// TestMetricsExposition is the per-route exposition golden test: after
+// a known request mix, the scrape must carry exact labeled samples for
+// the touched routes, explicit zeros for the untouched ones (absent
+// series are indistinguishable from broken collection), and the
+// runtime-collector families.
 func TestMetricsExposition(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	get(t, ts.URL+"/v1/shortest?v=0.3")
 	get(t, ts.URL+"/v1/shortest?v=bogus")
+	get(t, ts.URL+"/v1/parse?s=1.25")
 	_, scrape := get(t, ts.URL+"/metrics")
 	for _, want := range []string{
 		"# TYPE floatprint_grisu_hits_total counter",
 		"# TYPE fpserved_requests_total counter",
 		"# TYPE fpserved_request_seconds histogram",
-		"fpserved_request_seconds_bucket{le=\"+Inf\"} 2",
-		"fpserved_responses_total{class=\"2xx\"} 1",
+		`fpserved_requests_total{route="/v1/shortest"} 2`,
+		`fpserved_requests_total{route="/v1/parse"} 1`,
+		`fpserved_requests_total{route="/v1/batch"} 0`,
+		`fpserved_request_errors_total{route="/v1/shortest",class="4xx"} 1`,
+		`fpserved_request_errors_total{route="/v1/shortest",class="5xx"} 0`,
+		`fpserved_request_errors_total{route="/v1/parse",class="4xx"} 0`,
+		`fpserved_request_seconds_bucket{route="/v1/shortest",le="+Inf"} 2`,
+		`fpserved_request_seconds_count{route="/v1/shortest"} 2`,
+		`fpserved_request_seconds_count{route="/v1/parse"} 1`,
+		`fpserved_request_seconds_count{route="/v1/fixed"} 0`,
+		"fpserved_responses_total{class=\"2xx\"} 2",
 		"fpserved_responses_total{class=\"4xx\"} 1",
 		"fpserved_in_flight_limit 64",
+		"# TYPE fpserved_goroutines gauge",
+		"# TYPE fpserved_heap_alloc_bytes gauge",
+		"# TYPE fpserved_gc_cycles_total counter",
+		"# TYPE fpserved_uptime_seconds gauge",
+		`fpserved_build_info{go_version="` + runtime.Version() + `",instance=`,
 	} {
 		if !strings.Contains(scrape, want) {
 			t.Errorf("scrape missing %q:\n%s", want, scrape)
 		}
 	}
+	if got := metricValue(t, scrape, "fpserved_gomaxprocs"); got != uint64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("fpserved_gomaxprocs = %d, want %d", got, runtime.GOMAXPROCS(0))
+	}
 }
 
 // TestPanicRecovery: a handler panic becomes a 500 and a counter, not
-// a dead server.
+// a dead server — and the deferred accounting in instrumented records
+// the panic as a 500 in the per-route metrics before re-raising.
 func TestPanicRecovery(t *testing.T) {
 	s := New(Config{Logger: log.New(io.Discard, "", 0)})
 	mux := http.NewServeMux()
-	mux.Handle("/boom", s.instrumented(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+	mux.Handle("/boom", s.instrumented("/v1/shortest", http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("boom")
 	})))
 	ts := httptest.NewServer(s.recovered(mux))
@@ -732,13 +795,21 @@ func TestPanicRecovery(t *testing.T) {
 	if got := s.metrics.panics.Load(); got != 1 {
 		t.Fatalf("panics counter = %d, want 1", got)
 	}
+	rm := s.metrics.route("/v1/shortest")
+	if got := rm.err5xx.Load(); got != 1 {
+		t.Fatalf("route 5xx counter = %d, want 1 (panic accounted before re-raise)", got)
+	}
+	if got := rm.latency.Count(); got != 1 {
+		t.Fatalf("route latency count = %d, want 1", got)
+	}
 }
 
-// BenchmarkServeShortest measures single-value request throughput over
-// a real loopback connection — the serving tax on top of the ~tens of
+// benchServeShortest measures single-value request throughput over a
+// real loopback connection — the serving tax on top of the ~tens of
 // nanoseconds the conversion itself costs.
-func BenchmarkServeShortest(b *testing.B) {
-	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+func benchServeShortest(b *testing.B, cfg Config) {
+	cfg.Logger = log.New(io.Discard, "", 0)
+	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -756,6 +827,27 @@ func BenchmarkServeShortest(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeShortest is the historical name CI's regression gate
+// tracks release over release; tracing is off, so it doubles as the
+// tracing-disabled budget check against pre-tracing baselines.
+func BenchmarkServeShortest(b *testing.B) { benchServeShortest(b, Config{}) }
+
+// The TraceOff/TraceOn pair measures the tracing tax directly: same
+// request, nil tracer versus a root span plus decode/convert/encode
+// children and ring publication on every request.
+func BenchmarkServeShortest_TraceOff(b *testing.B) { benchServeShortest(b, Config{}) }
+
+func BenchmarkServeShortest_TraceOn(b *testing.B) {
+	benchServeShortest(b, Config{TraceSample: 1})
+}
+
+// TraceSampled is the production-shaped middle ground: spans are built
+// for every request (the capture decision is retrospective) but only
+// ~1 in 100 traces publishes to the ring.
+func BenchmarkServeShortest_TraceSampled(b *testing.B) {
+	benchServeShortest(b, Config{TraceSample: 100})
 }
 
 // BenchmarkServeBatchNDJSON measures end-to-end streaming batch

@@ -16,9 +16,13 @@
 //   - Graceful shutdown: Shutdown stops accepting and drains in-flight
 //     batches up to the caller's deadline.
 //   - Observability: /metrics exposes the library's conversion-path
-//     telemetry (floatprint.Stats.WritePrometheus) and the server's own
-//     request counters through one Prometheus text scrape, so the path
-//     mix and the traffic that produced it are read together.
+//     telemetry (floatprint.Stats.WritePrometheus), per-route RED
+//     metrics (request/error counters and a latency histogram labeled
+//     by route), and a runtime collector (goroutines, heap, GC, build
+//     info) through one Prometheus text scrape, so the path mix and
+//     the traffic that produced it are read together.  Request-span
+//     tracing (Config.TraceSample) captures sampled, slow, and failing
+//     requests as W3C-propagated traces served at /debug/traces.
 //
 // Endpoints:
 //
@@ -44,12 +48,17 @@
 //	GET  /healthz
 //	GET  /metrics
 //	GET  /debug/pprof/*      (opt-in: Config.Debug)
-//	GET  /debug/exemplars    (opt-in: Config.Debug; recent slow requests)
+//	GET  /debug/exemplars    (opt-in: Config.Debug; recent slow/5xx requests)
+//	GET  /debug/traces       (opt-in: Config.TraceSample > 0; completed
+//	                          request traces, newest first, filterable by
+//	                          ?route= and ?min_ms=)
 //
 // Every conversion request is assigned a process-unique request id,
 // returned in the X-Request-Id header and logged (when Config.Slog is
-// set) in a structured access-log record, so one slow exemplar, one log
-// line, and one client-observed response tie together by id.
+// set) in a structured access-log record; when tracing is enabled the
+// trace id rides alongside it (X-Trace-Id header, trace_id log attr),
+// so one slow exemplar, one log line, one trace, and one
+// client-observed response tie together by id.
 //
 // The batch response is byte-identical to floatprint.AppendShortest on
 // each value followed by '\n', whatever the shard count — the same
@@ -66,6 +75,7 @@ import (
 	"time"
 
 	"floatprint/batch"
+	"floatprint/internal/span"
 )
 
 // Config tunes a Server.  The zero value is ready to use.
@@ -107,8 +117,25 @@ type Config struct {
 	// profiling endpoints should be a deployment decision, not a given.
 	Debug bool
 	// SlowRequest is the duration at or above which a finished request is
-	// captured into the exemplar ring.  Zero means 250ms.
+	// captured into the exemplar ring — and, when tracing is on, always
+	// published to the trace ring whatever the sampling rate said.  Zero
+	// means 250ms.
 	SlowRequest time.Duration
+	// TraceSample turns on request-span tracing and sets the head
+	// sampling rate: 1 traces every request, N keeps roughly 1 in N
+	// (decided deterministically per W3C trace ID, so replicas sharing
+	// TraceSeed agree).  Zero or negative disables tracing entirely —
+	// handlers then pay one nil-pointer test per instrumentation point.
+	// Slow and 5xx requests are always captured when tracing is on,
+	// whatever the rate.
+	TraceSample int
+	// TraceRing bounds the completed-trace ring behind /debug/traces.
+	// Zero means 64.
+	TraceRing int
+	// TraceSeed seeds trace-ID generation and the sampling decision.
+	// Zero means random; set it to make sampling reproducible across
+	// restarts or consistent across a replica fleet.
+	TraceSeed uint64
 }
 
 // Server is the fpserved HTTP service.
@@ -123,6 +150,8 @@ type Server struct {
 	slog      *slog.Logger
 	reqIDs    *requestIDs
 	exemplars *exemplarRing
+	tracer    *span.Tracer // nil when Config.TraceSample <= 0
+	runtime   *runtimeStats
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -162,7 +191,9 @@ func New(cfg Config) *Server {
 		slog:      cfg.Slog,
 		reqIDs:    newRequestIDs(),
 		exemplars: &exemplarRing{},
+		tracer:    newTracer(cfg),
 	}
+	s.runtime = newRuntimeStats(s.reqIDs.prefix)
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -178,15 +209,25 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// Conversion endpoints go through the full stack; the ops
 	// endpoints skip the limiter (and the request metrics, so scraping
-	// does not pollute the request counters it reports).
-	mux.Handle("/v1/shortest", s.limited(http.HandlerFunc(s.handleShortest)))
-	mux.Handle("/v1/parse", s.limited(http.HandlerFunc(s.handleParse)))
-	mux.Handle("/v1/interval", s.limited(http.HandlerFunc(s.handleInterval)))
-	mux.Handle("/v1/fixed", s.limited(http.HandlerFunc(s.handleFixed)))
-	mux.Handle("/v1/batch", s.limited(http.HandlerFunc(s.handleBatch)))
-	mux.Handle("/v1/batch-parse", s.limited(http.HandlerFunc(s.handleBatchParse)))
+	// does not pollute the request counters it reports).  The route
+	// string given to limited is the span name and the metrics label,
+	// so it must match the pattern registered on the mux — and must be
+	// one of the routes newMetrics pre-registered, which route()
+	// enforces at wiring time.
+	mux.Handle("/v1/shortest", s.limited("/v1/shortest", http.HandlerFunc(s.handleShortest)))
+	mux.Handle("/v1/parse", s.limited("/v1/parse", http.HandlerFunc(s.handleParse)))
+	mux.Handle("/v1/interval", s.limited("/v1/interval", http.HandlerFunc(s.handleInterval)))
+	mux.Handle("/v1/fixed", s.limited("/v1/fixed", http.HandlerFunc(s.handleFixed)))
+	mux.Handle("/v1/batch", s.limited("/v1/batch", http.HandlerFunc(s.handleBatch)))
+	mux.Handle("/v1/batch-parse", s.limited("/v1/batch-parse", http.HandlerFunc(s.handleBatchParse)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.tracer != nil {
+		// Enabling tracing is itself the opt-in for the trace reader,
+		// independent of the pprof surface: there is no point capturing
+		// traces nobody can read.
+		mux.HandleFunc("/debug/traces", s.handleTraces)
+	}
 	if s.cfg.Debug {
 		s.mountDebug(mux)
 	}
@@ -194,10 +235,11 @@ func (s *Server) Handler() http.Handler {
 }
 
 // limited wraps a conversion handler with the request middleware, from
-// the outside in: metrics (every arrival counts, sheds included), then
-// admission, then the per-request timeout.
-func (s *Server) limited(h http.Handler) http.Handler {
-	return s.instrumented(s.admitted(s.timed(h)))
+// the outside in: instrumentation (every arrival counts, sheds
+// included; the root span opens here), then admission, then the
+// per-request timeout.
+func (s *Server) limited(route string, h http.Handler) http.Handler {
+	return s.instrumented(route, s.admitted(s.timed(h)))
 }
 
 // Listen binds the configured address.  After Listen, Addr reports the
