@@ -45,9 +45,12 @@ func shortestFastpath64(o Options) trace.Backend {
 		return trace.BackendNone
 	}
 	if o.Reader.directed() {
-		// The directed reader modes print one-sided half-gap output
-		// through Floor/CeilFormat; neither nearest-range fast backend's
-		// correctness proof covers that, so only the exact core applies.
+		// The directed reader modes print one-sided half-gap output, a
+		// different acceptance test than the nearest-range backends here
+		// certify.  They have their own fast kernels — directedValue
+		// dispatches through directedFastpath to the one-sided Ryū loops —
+		// so this registry hands the request to the exact-path entry, which
+		// routes it there.
 		return trace.BackendNone
 	}
 	switch o.Backend {
@@ -69,6 +72,22 @@ func shortestFastpath64(o Options) trace.Backend {
 	default: // BackendExact
 		return trace.BackendNone
 	}
+}
+
+// directedFastpath reports whether the one-sided Ryū kernels
+// (ryu.ShortestBelowInto / ShortestAboveInto) may serve a directed
+// shortest conversion.  The static guards mirror the nearest registry's:
+// binary64 only, base 10 only, the default scale estimator only — the
+// kernels hard-code decimal arithmetic and the estimator's K convention,
+// so a base-16 or ScalingFloatLog request must reach the exact core
+// untouched.  An explicit BackendGrisu or BackendExact selection also
+// routes to the exact core: Grisu3 has no one-sided variant, and
+// BackendExact is the documented way to force the certified-fast paths
+// off (corpus tests diff the two).
+func directedFastpath(o Options, val fpformat.Value) bool {
+	return val.Fmt == fpformat.Binary64 &&
+		o.Base == 10 && o.Scaling == ScalingEstimate &&
+		(o.Backend == BackendAuto || o.Backend == BackendRyu)
 }
 
 // shortestFastAttempt runs the selected fast backend for positive finite

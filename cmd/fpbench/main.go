@@ -325,23 +325,28 @@ func runParse(corpus []float64, art *harness.Artifact) error {
 
 // runInterval measures the interval workload — outward-rounded printing
 // and enclosure-guaranteed reading of degenerate corpus intervals — in
-// intervals per second, after verifying the enclosure contract over the
-// whole corpus (each endpoint may widen at most one ulp outward through
-// a print/parse round trip, never inward).
+// intervals per second, fast-path and forced-exact configurations of
+// each direction, after verifying over the whole corpus that the two
+// configurations are byte-identical and that the enclosure contract
+// holds (each endpoint may widen at most one ulp outward through a
+// print/parse round trip, never inward).
 func runInterval(corpus []float64, art *harness.Artifact) error {
 	fmt.Println("== Interval I/O: outward print / enclosure parse throughput ==")
 	if err := harness.VerifyInterval(corpus); err != nil {
 		return err
 	}
-	fmt.Printf("verified: Parse(print([x,x])) encloses within one ulp per side over %d values\n", len(corpus))
+	fmt.Printf("verified: fast == exact both directions; Parse(print([x,x])) encloses within one ulp per side over %d values\n", len(corpus))
 	rows, err := harness.RunInterval(corpus)
 	if err != nil {
 		return err
 	}
 	fmt.Print(harness.RenderInterval(rows, len(corpus)))
 	for _, r := range rows {
-		record(art, "Interval/"+slug(r.Name), nsPerValue(r.Elapsed, len(corpus)),
-			map[string][]float64{"intervals/s": {r.IntervalsPerSec}})
+		metrics := map[string][]float64{"intervals/s": {r.IntervalsPerSec}}
+		if attempts := r.FastHits + r.FastMisses; attempts > 0 {
+			metrics["fast-hit-pct"] = []float64{100 * float64(r.FastHits) / float64(attempts)}
+		}
+		record(art, "Interval/"+slug(r.Name), nsPerValue(r.Elapsed, len(corpus)), metrics)
 	}
 	fmt.Println()
 	return nil

@@ -3,6 +3,7 @@ package floatprint
 import (
 	"floatprint/internal/core"
 	"floatprint/internal/fpformat"
+	"floatprint/internal/ryu"
 	"floatprint/internal/stats"
 )
 
@@ -34,7 +35,8 @@ func ShortestBelowDigits(v float64, opts *Options) (Digits, error) {
 	if err != nil {
 		return Digits{}, err
 	}
-	return directedValue(fpformat.DecodeFloat64(v), o, false)
+	d, _, err := directedValue(fpformat.DecodeFloat64(v), o, false)
+	return d, err
 }
 
 // ShortestAboveDigits converts v to the shortest digit string whose exact
@@ -44,7 +46,8 @@ func ShortestAboveDigits(v float64, opts *Options) (Digits, error) {
 	if err != nil {
 		return Digits{}, err
 	}
-	return directedValue(fpformat.DecodeFloat64(v), o, true)
+	d, _, err := directedValue(fpformat.DecodeFloat64(v), o, true)
+	return d, err
 }
 
 // ShortestBelow renders ShortestBelowDigits under default options.
@@ -66,25 +69,51 @@ func ShortestAbove(v float64) string {
 }
 
 // directedValue is the directed analog of shortestValue: specials first,
-// then the one-sided exact core on the magnitude.  above selects the bound
-// in *value* order; for a negative value the magnitude rounding flips (the
+// then the one-sided Ryū kernels when the request shape admits them, then
+// the one-sided exact core on the magnitude.  above selects the bound in
+// *value* order; for a negative value the magnitude rounding flips (the
 // largest decimal ≤ v is the negation of the smallest decimal ≥ |v|).
-func directedValue(val fpformat.Value, o Options, above bool) (Digits, error) {
+// fast reports whether a one-sided kernel served the result (trace
+// attribution); the kernels follow the decline-don't-error contract, so a
+// decline falls through to the exact core and the output never depends on
+// the path taken.
+func directedValue(val fpformat.Value, o Options, above bool) (d Digits, fast bool, err error) {
 	if d, done := specialDigits(val, o.Base); done {
-		return d, nil
+		return d, false, nil
 	}
-	var (
-		res core.Result
-		err error
-	)
+	if directedFastpath(o, val) {
+		if v, verr := abs(val).Float64(); verr == nil {
+			var buf [fastBufLen]byte
+			var n, k int
+			var ok bool
+			if above != val.Neg {
+				n, k, ok = ryu.ShortestAboveInto(buf[:], v)
+			} else {
+				n, k, ok = ryu.ShortestBelowInto(buf[:], v)
+			}
+			if ok {
+				stats.DirectedRyuHits.Inc()
+				digits := make([]byte, n)
+				for i := 0; i < n; i++ {
+					digits[i] = buf[i] - '0' // ASCII back to digit values
+				}
+				return Digits{
+					Class: Finite, Neg: val.Neg,
+					Digits: digits, K: k, NSig: n, Base: 10,
+				}, true, nil
+			}
+			stats.DirectedRyuMisses.Inc()
+		}
+	}
+	var res core.Result
 	if above != val.Neg {
 		res, err = core.CeilFormat(abs(val), o.Base, o.Scaling.core())
 	} else {
 		res, err = core.FloorFormat(abs(val), o.Base, o.Scaling.core())
 	}
 	if err != nil {
-		return Digits{}, err
+		return Digits{}, false, err
 	}
 	stats.ExactFree.Inc()
-	return fromResult(res, val.Neg, o.Base), nil
+	return fromResult(res, val.Neg, o.Base), false, nil
 }

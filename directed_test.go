@@ -8,6 +8,142 @@ import (
 	"floatprint/internal/schryer"
 )
 
+// TestDirectedWrappersNeverError pins the "unreachable with default
+// options" claim the ShortestBelow/ShortestAbove panic paths make: under
+// nil options the digits entry points return a nil error for every value
+// class — finite across the whole exponent range, denormals, the format
+// extremes, both signs, and the specials — so the wrappers can never
+// reach their panic.  CeilFormat/FloorFormat only fail on invalid
+// base/scaling or non-finite input, and norm() plus the specials filter
+// rule both out before the core runs; this test keeps that audit honest
+// if either layer changes.
+func TestDirectedWrappersNeverError(t *testing.T) {
+	values := []float64{
+		0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(),
+		1, -1, 0.1, -0.3, 1.5, math.Pi, -math.E,
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		0x1p-1022, math.Nextafter(0x1p-1022, 0), // normal floor and below
+		1e308, 1e-308, 5e-324, 1e23, 1 << 53, -(1<<53 - 1),
+	}
+	for _, v := range values {
+		if _, err := ShortestBelowDigits(v, nil); err != nil {
+			t.Errorf("ShortestBelowDigits(%x, nil) error: %v", math.Float64bits(v), err)
+		}
+		if _, err := ShortestAboveDigits(v, nil); err != nil {
+			t.Errorf("ShortestAboveDigits(%x, nil) error: %v", math.Float64bits(v), err)
+		}
+		// The string wrappers must complete, not panic.
+		_ = ShortestBelow(v)
+		_ = ShortestAbove(v)
+	}
+}
+
+// TestDirectedPrintFastMatchesExact is the root-level dispatch
+// differential: the default (fast-eligible) options and the forced-exact
+// backend must render byte-identical one-sided bounds, and the telemetry
+// must attribute each run to the right path.
+func TestDirectedPrintFastMatchesExact(t *testing.T) {
+	ResetStats()
+	prev := SetStatsEnabled(true)
+	defer SetStatsEnabled(prev)
+
+	exact := &Options{Backend: BackendExact}
+	n := 20000
+	if testing.Short() {
+		n = 2000
+	}
+	checked := 0
+	for _, v := range schryer.CorpusN(n) {
+		for _, w := range []float64{v, -v} {
+			fb, err := ShortestBelowDigits(w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eb, err := ShortestBelowDigits(w, exact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fb.String() != eb.String() {
+				t.Fatalf("Below(%x): fast %q, exact %q", math.Float64bits(w), fb.String(), eb.String())
+			}
+			fa, err := ShortestAboveDigits(w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ea, err := ShortestAboveDigits(w, exact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fa.String() != ea.String() {
+				t.Fatalf("Above(%x): fast %q, exact %q", math.Float64bits(w), fa.String(), ea.String())
+			}
+			checked += 2
+		}
+	}
+	d := Snapshot()
+	if got := d.DirectedRyuHits + d.DirectedRyuMisses; got != uint64(checked) {
+		t.Errorf("directed ryu attempts = %d, want %d (one per fast-eligible call)", got, checked)
+	}
+	if d.DirectedRyuMisses != 0 {
+		t.Errorf("DirectedRyuMisses = %d, want 0 (the kernels serve every finite value)", d.DirectedRyuMisses)
+	}
+	// The forced-exact twin runs never touch the directed fast counters.
+	if got := d.ExactFree; got != uint64(checked) {
+		t.Errorf("ExactFree = %d, want %d (one per forced-exact call)", got, checked)
+	}
+}
+
+// TestDirectedDispatchGuards pins the static guards in front of the
+// one-sided kernels: requests the base-10 decimal kernels cannot serve —
+// other bases, non-default scaling, an explicit grisu or exact backend —
+// must go to the exact core without so much as an attempted fast call
+// (the kernels would produce well-formed garbage for base 16, so the
+// guard must fire before, not inside, the kernel).
+func TestDirectedDispatchGuards(t *testing.T) {
+	guarded := []*Options{
+		{Base: 16},
+		{Base: 2},
+		{Scaling: ScalingIterative},
+		{Scaling: ScalingFloatLog},
+		{Backend: BackendGrisu},
+		{Backend: BackendExact},
+	}
+	for _, o := range guarded {
+		ResetStats()
+		prev := SetStatsEnabled(true)
+		for _, v := range []float64{0.3, math.Pi, 1e23, 5e-324} {
+			if _, err := ShortestBelowDigits(v, o); err != nil {
+				t.Fatalf("ShortestBelowDigits(%g, %+v): %v", v, *o, err)
+			}
+			if _, err := ShortestAboveDigits(v, o); err != nil {
+				t.Fatalf("ShortestAboveDigits(%g, %+v): %v", v, *o, err)
+			}
+		}
+		d := Snapshot()
+		SetStatsEnabled(prev)
+		if d.DirectedRyuHits != 0 || d.DirectedRyuMisses != 0 {
+			t.Errorf("options %+v reached the directed kernels: hits=%d misses=%d",
+				*o, d.DirectedRyuHits, d.DirectedRyuMisses)
+		}
+		if d.ExactFree != 8 {
+			t.Errorf("options %+v: ExactFree = %d, want 8", *o, d.ExactFree)
+		}
+	}
+	// And the complementary pin: eligible options do attempt the kernel.
+	ResetStats()
+	prev := SetStatsEnabled(true)
+	defer SetStatsEnabled(prev)
+	for _, o := range []*Options{nil, {Backend: BackendRyu}, {Backend: BackendAuto}} {
+		if _, err := ShortestBelowDigits(0.3, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := Snapshot(); d.DirectedRyuHits != 3 {
+		t.Errorf("eligible options: DirectedRyuHits = %d, want 3", d.DirectedRyuHits)
+	}
+}
+
 // TestShortestBelowAboveGoldens pins the directed printers on values
 // whose one-sided forms are known by hand.
 func TestShortestBelowAboveGoldens(t *testing.T) {

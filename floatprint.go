@@ -114,12 +114,16 @@ func shortestValueTraced(val fpformat.Value, o Options, tr *Trace) (Digits, erro
 	if o.Reader.directed() {
 		// A toward-negative reader truncates every inexact value, so only
 		// a string in [v, v+m⁺) reads back as v: print the upper one-sided
-		// bound (and the mirror for toward-positive).  The one-sided loops
-		// run in the exact core only; no fast backend covers them.
-		d, err := directedValue(val, o, o.Reader == ReaderTowardNegInf)
+		// bound (and the mirror for toward-positive).  directedValue runs
+		// the one-sided Ryū kernels where they apply and the exact core's
+		// one-sided loops otherwise.
+		d, fast, err := directedValue(val, o, o.Reader == ReaderTowardNegInf)
 		if err == nil && tr != nil {
 			tr.Reset()
 			tr.Backend = TraceBackendExactFree
+			if fast {
+				tr.Backend = TraceBackendRyu
+			}
 			tr.Base = o.Base
 			tr.Mode = o.Reader.String()
 			tr.K = d.K

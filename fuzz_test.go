@@ -261,6 +261,88 @@ func FuzzFixedVsExact(f *testing.F) {
 	})
 }
 
+// FuzzDirectedPrintVsExact differences the one-sided Ryū kernels against
+// the exact one-sided core through the public dispatch, for any bit
+// pattern and both bounds: the default options (fast-eligible) and the
+// forced-exact backend must render identical bytes.  The outputs also
+// get an enclosure sanity check — Below reads back ≤ v and Above ≥ v
+// under strconv — so a coordinated bug in both paths still has to fight
+// an independent oracle.
+func FuzzDirectedPrintVsExact(f *testing.F) {
+	for _, bits := range fuzzSeeds {
+		f.Add(bits)
+	}
+	f.Fuzz(func(t *testing.T, bits uint64) {
+		v := math.Float64frombits(bits)
+		exact := &Options{Backend: BackendExact}
+		for _, above := range []bool{false, true} {
+			get := ShortestBelowDigits
+			if above {
+				get = ShortestAboveDigits
+			}
+			fd, err := get(v, nil)
+			if err != nil {
+				t.Fatalf("directed(%x, above=%v): %v", bits, above, err)
+			}
+			ed, err := get(v, exact)
+			if err != nil {
+				t.Fatalf("exact directed(%x, above=%v): %v", bits, above, err)
+			}
+			if fd.String() != ed.String() {
+				t.Fatalf("directed(%x, above=%v): fast %q, exact %q", bits, above, fd.String(), ed.String())
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			back, perr := strconv.ParseFloat(fd.String(), 64)
+			if perr != nil {
+				t.Fatalf("strconv rejects directed output %q: %v", fd.String(), perr)
+			}
+			if above && back < v || !above && back > v {
+				t.Fatalf("enclosure: v=%x above=%v printed %q which reads back %g on the wrong side",
+					bits, above, fd.String(), back)
+			}
+		}
+	})
+}
+
+// FuzzDirectedParseVsExact differences the directed Eisel–Lemire fast
+// path against the exact directed reader through the public Parse
+// dispatch, for arbitrary strings and both directions: identical bits,
+// identical error presence, identical error text.  Error identity is the
+// load-bearing half — a fast path that truncates overflow onto
+// MaxFloat64 but forgets ErrRange produces correct-looking values with
+// the wrong contract.
+func FuzzDirectedParseVsExact(f *testing.F) {
+	for _, bits := range fuzzSeeds {
+		f.Add(strconv.FormatFloat(math.Float64frombits(bits), 'g', -1, 64))
+	}
+	for _, s := range []string{
+		"1e309", "-1e309", "1.7976931348623158e308", "5e-324", "1e-400",
+		"9007199254740993", "123456789012345678901234567890e-20",
+		"1#5", "12@-3", "inf", "nan", "1e", "..", "0.5", "7450580596923828125e-27",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, mode := range []ReaderRounding{ReaderTowardNegInf, ReaderTowardPosInf} {
+			fv, ferr := Parse(s, &Options{Reader: mode})
+			ev, eerr := Parse(s, &Options{Reader: mode, Backend: BackendExact})
+			if math.Float64bits(fv) != math.Float64bits(ev) {
+				t.Fatalf("Parse(%q, %v): fast %g (%#x), exact %g (%#x)",
+					s, mode, fv, math.Float64bits(fv), ev, math.Float64bits(ev))
+			}
+			if (ferr == nil) != (eerr == nil) {
+				t.Fatalf("Parse(%q, %v): fast err %v, exact err %v", s, mode, ferr, eerr)
+			}
+			if ferr != nil && ferr.Error() != eerr.Error() {
+				t.Fatalf("Parse(%q, %v): error text diverged\nfast:  %q\nexact: %q",
+					s, mode, ferr.Error(), eerr.Error())
+			}
+		}
+	})
+}
+
 // FuzzBatchParseVsParse feeds arbitrary byte streams through the
 // block-at-a-time batch engine and the per-value oracle (BatchSep
 // tokenization + Parse under default options): the engines must agree

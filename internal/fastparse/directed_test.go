@@ -1,0 +1,146 @@
+package fastparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"floatprint/internal/fpformat"
+	"floatprint/internal/reader"
+	"floatprint/internal/schryer"
+)
+
+// checkDirectedAgainstReader certifies one input against the exact
+// directed reader in both directions.  A served (ok) result must match
+// the reader's bits exactly AND the reader must report no error for that
+// input — the fast path's contract includes error identity, so anything
+// the reader would flag (ErrRange saturation in particular) must have
+// been declined.  Returns how many of the two directions declined.
+func checkDirectedAgainstReader(t *testing.T, s string) int {
+	t.Helper()
+	declines := 0
+	for _, towardPos := range []bool{false, true} {
+		mode := reader.TowardNegInf
+		if towardPos {
+			mode = reader.TowardPosInf
+		}
+		f, _, ok := ParseDirected64(s, towardPos)
+		if !ok {
+			declines++
+			continue
+		}
+		n, perr := reader.ParseText(s, 10)
+		if perr != nil {
+			t.Fatalf("ParseDirected64(%q, %v) certified input the reader rejects: %v", s, towardPos, perr)
+		}
+		v, cerr := reader.Convert(n, fpformat.Binary64, mode)
+		if cerr != nil {
+			t.Fatalf("ParseDirected64(%q, %v) = %x certified, but the exact reader signals %v — error identity broken",
+				s, towardPos, math.Float64bits(f), cerr)
+		}
+		want, ferr := v.Float64()
+		if ferr != nil {
+			t.Fatalf("reader.Convert(%q) Float64: %v", s, ferr)
+		}
+		if math.Float64bits(f) != math.Float64bits(want) {
+			t.Fatalf("ParseDirected64(%q, %v) = %x, exact reader = %x", s, towardPos, math.Float64bits(f), math.Float64bits(want))
+		}
+	}
+	return declines
+}
+
+// TestDirectedParseEdgeInputs sweeps the range frontier, the dyadic
+// band, zeros, truncated significands, and syntax the scanner declines.
+func TestDirectedParseEdgeInputs(t *testing.T) {
+	inputs := []string{
+		"0", "-0", "+0", "0.000e5", "-0e-999",
+		"1", "-1", "0.5", "-0.5", "0.25", "0.125", "1.5", "2.5", "3.75",
+		"0.1", "0.3", "-0.1", "3.1415926535897932384626433832795028841971",
+		"3.0517578125e-05",        // 2^-15: dyadic via 5^5 | 30517578125
+		"7450580596923828125e-27", // 5^27·10^-27 = 2^-27: the deepest dyadic window
+		"7450580596923828125e-28", // 5^27·10^-28: not dyadic (one extra 5 in the denominator)
+		"1.7976931348623157e308",  // MaxFloat64 exactly
+		"1.7976931348623158e308",  // above MaxFloat64: saturates with ErrRange, must decline
+		"-1.7976931348623158e308", //
+		"1e308", "1e309", "-1e309", "2e308",
+		"1e999", "1e-999", "-1e-999", "1e999999999",
+		"4.9406564584124654e-324", // smallest denormal
+		"2.2250738585072014e-308", // smallest normal
+		"2.2250738585072011e-308", // just below the normal floor
+		"2.2250738585072013e-308", //
+		"1e-323", "9.9e-324", "1e-350",
+		"9007199254740993",                    // 2^53+1: exactly between representables
+		"9007199254740992.5",                  //
+		"123456789012345678901234567890",      // truncated significand
+		"1234567890123456789012345678901e-35", //
+		"99999999999999999999999999999999e10", //
+		"0.000000000000000000001234567890123456789012345",
+		"1e", "e5", "..1", "1.2.3", "nan", "inf", " 1", "1 ", "1#2",
+		"12#", "12#.#e2", "1@5", "1@-5",
+	}
+	for _, s := range inputs {
+		checkDirectedAgainstReader(t, s)
+	}
+}
+
+// TestDirectedParseCorpus certifies the fast path over the shortest
+// decimal strings of the full corpus — the served interval workload's
+// exact input distribution — in both directions, and pins the hit rate:
+// the kernel exists to serve this traffic, so wholesale declining
+// (a wrong-but-safe implementation) fails loudly.
+func TestDirectedParseCorpus(t *testing.T) {
+	n := schryer.CorpusSize
+	if testing.Short() {
+		n = 8000
+	}
+	declines, total := 0, 0
+	for _, v := range schryer.CorpusN(n) {
+		s := strconv.FormatFloat(v, 'g', -1, 64)
+		declines += checkDirectedAgainstReader(t, s)
+		total += 2
+	}
+	if rate := float64(declines) / float64(total); rate > 0.001 {
+		t.Fatalf("directed fast path declined %d/%d corpus parses (%.4f%%); expected a near-zero decline rate",
+			declines, total, 100*rate)
+	}
+}
+
+// TestDirectedParseRandom hammers random significand/exponent
+// combinations, weighted toward the table edges and high digit counts.
+func TestDirectedParseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	iters := 60000
+	if testing.Short() {
+		iters = 3000
+	}
+	for i := 0; i < iters; i++ {
+		man := rng.Uint64() >> uint(rng.Intn(40))
+		exp := rng.Intn(700) - 360
+		var s string
+		switch rng.Intn(4) {
+		case 0:
+			s = fmt.Sprintf("%de%d", man, exp)
+		case 1:
+			s = fmt.Sprintf("%d.%de%d", man, rng.Uint64()%1000000, exp)
+		case 2:
+			s = fmt.Sprintf("-%de%d", man, exp)
+		default:
+			s = fmt.Sprintf("%d%d.%de%d", man, rng.Uint64(), rng.Uint64(), exp)
+		}
+		checkDirectedAgainstReader(t, s)
+	}
+	// Dense sweep of the dyadic window: man = k·5^j at small negative
+	// exponents, where the exact-integer path and its neighbors live.
+	for j := 0; j <= 27; j++ {
+		for k := uint64(1); k <= 6; k++ {
+			if pow5[j] > math.MaxUint64/k {
+				continue
+			}
+			for e := -30; e <= 0; e++ {
+				checkDirectedAgainstReader(t, fmt.Sprintf("%de%d", k*pow5[j], e))
+			}
+		}
+	}
+}

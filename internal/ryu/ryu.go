@@ -309,24 +309,9 @@ func ShortestInto(buf []byte, v float64) (n, k int, ok bool) {
 	// front (decimalLen), so digits land in their final positions — no
 	// reversal pass — and they come off two at a time through the pair
 	// table, so a 17-digit result costs nine 64-bit divisions instead of
-	// seventeen with no per-digit split arithmetic.
-	n = decimalLen(out)
-	i := n
-	for out >= 100 {
-		q := out / 100
-		j := (out - q*100) * 2
-		i -= 2
-		buf[i] = digitPairs[j]
-		buf[i+1] = digitPairs[j+1]
-		out = q
-	}
-	if out >= 10 {
-		j := out * 2
-		buf[i-2] = digitPairs[j]
-		buf[i-1] = digitPairs[j+1]
-	} else {
-		buf[i-1] = '0' + byte(out)
-	}
+	// seventeen with no per-digit split arithmetic.  The emitter is shared
+	// with the one-sided kernels (directed.go).
+	n = writeDecimal(buf, out)
 	return n, exp + n, true
 }
 

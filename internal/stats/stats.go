@@ -112,6 +112,20 @@ var (
 	// scanner declined and routed through the per-value parser (specials,
 	// '#' marks, '@' exponents, ties, out-of-range magnitudes).
 	BatchParseFallbacks Counter
+	// DirectedRyuHits counts directed (floor/ceil) shortest conversions
+	// served by the one-sided Ryū kernels.
+	DirectedRyuHits Counter
+	// DirectedRyuMisses counts directed shortest conversions where a
+	// one-sided kernel was attempted but declined and the exact core
+	// decided.
+	DirectedRyuMisses Counter
+	// DirectedFastHits counts directed-rounding parses certified by the
+	// directed Eisel–Lemire fast path.
+	DirectedFastHits Counter
+	// DirectedFastMisses counts directed-rounding parses where the fast
+	// path was attempted (base 10, binary64) but declined and the exact
+	// reader decided.
+	DirectedFastMisses Counter
 	// IntervalPrints counts intervals formatted by the interval package
 	// (one per [lo,hi] pair, not per endpoint; the endpoints' exact
 	// conversions also appear in ExactFree).
@@ -136,6 +150,9 @@ type Snapshot struct {
 
 	BatchParseBlocks, BatchParseValues   uint64
 	BatchParseBytes, BatchParseFallbacks uint64
+
+	DirectedRyuHits, DirectedRyuMisses   uint64
+	DirectedFastHits, DirectedFastMisses uint64
 
 	IntervalPrints, IntervalParses uint64
 }
@@ -162,6 +179,11 @@ func Read() Snapshot {
 		BatchParseValues:    BatchParseValues.Load(),
 		BatchParseBytes:     BatchParseBytes.Load(),
 		BatchParseFallbacks: BatchParseFallbacks.Load(),
+
+		DirectedRyuHits:    DirectedRyuHits.Load(),
+		DirectedRyuMisses:  DirectedRyuMisses.Load(),
+		DirectedFastHits:   DirectedFastHits.Load(),
+		DirectedFastMisses: DirectedFastMisses.Load(),
 
 		IntervalPrints: IntervalPrints.Load(),
 		IntervalParses: IntervalParses.Load(),
@@ -192,6 +214,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		BatchParseBytes:     s.BatchParseBytes - prev.BatchParseBytes,
 		BatchParseFallbacks: s.BatchParseFallbacks - prev.BatchParseFallbacks,
 
+		DirectedRyuHits:    s.DirectedRyuHits - prev.DirectedRyuHits,
+		DirectedRyuMisses:  s.DirectedRyuMisses - prev.DirectedRyuMisses,
+		DirectedFastHits:   s.DirectedFastHits - prev.DirectedFastHits,
+		DirectedFastMisses: s.DirectedFastMisses - prev.DirectedFastMisses,
+
 		IntervalPrints: s.IntervalPrints - prev.IntervalPrints,
 		IntervalParses: s.IntervalParses - prev.IntervalParses,
 	}
@@ -205,6 +232,7 @@ func Reset() {
 		&ExactFree, &ExactFixed, &BatchValues, &BatchBytes,
 		&ParseFastHits, &ParseFastMisses, &ParseExact,
 		&BatchParseBlocks, &BatchParseValues, &BatchParseBytes, &BatchParseFallbacks,
+		&DirectedRyuHits, &DirectedRyuMisses, &DirectedFastHits, &DirectedFastMisses,
 		&IntervalPrints, &IntervalParses,
 	} {
 		c.n.Store(0)

@@ -51,35 +51,94 @@ func incLast(digits []byte, k int) ([]byte, int) {
 	return append([]byte{1}, out...), k + 1
 }
 
+// pathOptions are the two dispatch configurations every corpus suite
+// here runs under: nil options let the certified one-sided fast paths
+// (Ryū print kernels, directed Eisel–Lemire parsing) serve what they
+// can, while BackendExact forces every conversion through the exact
+// core and reader.  The properties must hold identically in both — the
+// fast paths are supposed to change the path mix, never the output.
+var pathOptions = []struct {
+	name string
+	opts *floatprint.Options
+}{
+	{"fast", nil},
+	{"exact", &floatprint.Options{Backend: floatprint.BackendExact}},
+}
+
 // TestCorpusDegenerateEnclosure drives the full printing→parsing chain
 // over the paper's 250,680-value corpus: for every x, the printed
 // degenerate interval [x, x] must parse back to an enclosure of [x, x]
-// that is at most one ulp wider on each side.
+// that is at most one ulp wider on each side.  Runs with the fast paths
+// on and forced off.
 func TestCorpusDegenerateEnclosure(t *testing.T) {
 	n := schryer.CorpusSize
 	if testing.Short() {
 		n = 8000
 	}
-	buf := make([]byte, 0, 64)
+	for _, p := range pathOptions {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			buf := make([]byte, 0, 64)
+			for _, x := range schryer.CorpusN(n) {
+				iv := Interval{x, x}
+				var err error
+				buf, err = AppendShortest(buf[:0], iv, p.opts)
+				if err != nil {
+					t.Fatalf("AppendShortest([%x,%x]): %v", x, x, err)
+				}
+				got, err := Parse(string(buf), p.opts)
+				if err != nil {
+					t.Fatalf("Parse(%q): %v", buf, err)
+				}
+				if !got.Encloses(iv) {
+					t.Fatalf("Parse(%q) = [%x,%x] does not enclose %x", buf, got.Lo, got.Hi, x)
+				}
+				if got.Lo != x && math.Nextafter(got.Lo, math.Inf(1)) != x {
+					t.Fatalf("%x: lower endpoint widened beyond one ulp to %x (%q)", x, got.Lo, buf)
+				}
+				if got.Hi != x && math.Nextafter(got.Hi, math.Inf(-1)) != x {
+					t.Fatalf("%x: upper endpoint widened beyond one ulp to %x (%q)", x, got.Hi, buf)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusFastMatchesExact is the interval-level byte-identity
+// differential in both directions: the certified fast paths and the
+// forced-exact paths must print identical interval text for every
+// corpus value, and must parse that text to identical endpoints.
+func TestCorpusFastMatchesExact(t *testing.T) {
+	n := schryer.CorpusSize
+	if testing.Short() {
+		n = 8000
+	}
+	exact := &floatprint.Options{Backend: floatprint.BackendExact}
+	fastBuf := make([]byte, 0, 64)
+	exactBuf := make([]byte, 0, 64)
 	for _, x := range schryer.CorpusN(n) {
-		iv := Interval{x, x}
+		iv := Interval{-x, x}
 		var err error
-		buf, err = AppendShortest(buf[:0], iv, nil)
+		fastBuf, err = AppendShortest(fastBuf[:0], iv, nil)
 		if err != nil {
-			t.Fatalf("AppendShortest([%x,%x]): %v", x, x, err)
+			t.Fatalf("AppendShortest(%v, fast): %v", iv, err)
 		}
-		got, err := Parse(string(buf), nil)
+		exactBuf, err = AppendShortest(exactBuf[:0], iv, exact)
 		if err != nil {
-			t.Fatalf("Parse(%q): %v", buf, err)
+			t.Fatalf("AppendShortest(%v, exact): %v", iv, err)
 		}
-		if !got.Encloses(iv) {
-			t.Fatalf("Parse(%q) = [%x,%x] does not enclose %x", buf, got.Lo, got.Hi, x)
+		if string(fastBuf) != string(exactBuf) {
+			t.Fatalf("print(%v): fast %q, exact %q", iv, fastBuf, exactBuf)
 		}
-		if got.Lo != x && math.Nextafter(got.Lo, math.Inf(1)) != x {
-			t.Fatalf("%x: lower endpoint widened beyond one ulp to %x (%q)", x, got.Lo, buf)
+		fgot, ferr := Parse(string(fastBuf), nil)
+		egot, eerr := Parse(string(fastBuf), exact)
+		if (ferr == nil) != (eerr == nil) {
+			t.Fatalf("parse(%q): fast err %v, exact err %v", fastBuf, ferr, eerr)
 		}
-		if got.Hi != x && math.Nextafter(got.Hi, math.Inf(-1)) != x {
-			t.Fatalf("%x: upper endpoint widened beyond one ulp to %x (%q)", x, got.Hi, buf)
+		if math.Float64bits(fgot.Lo) != math.Float64bits(egot.Lo) ||
+			math.Float64bits(fgot.Hi) != math.Float64bits(egot.Hi) {
+			t.Fatalf("parse(%q): fast [%x,%x], exact [%x,%x]",
+				fastBuf, fgot.Lo, fgot.Hi, egot.Lo, egot.Hi)
 		}
 	}
 }
@@ -122,7 +181,9 @@ func TestCorpusReaderModeInvariance(t *testing.T) {
 // lower bound), and subtracting one unit from the printed upper endpoint
 // drops it below x.  Together with enclosure this pins both halves of
 // the one-sided contract — each endpoint is the tightest digit string of
-// its own length.
+// its own length.  Runs with the fast paths on and forced off: the
+// one-sided Ryū kernels' never-a-trailing-zero and maximal-removal
+// claims get checked directly here, against the exact reader oracle.
 func TestCorpusTightness(t *testing.T) {
 	n := schryer.CorpusSize
 	stride := 16
@@ -130,31 +191,36 @@ func TestCorpusTightness(t *testing.T) {
 		n, stride = 8000, 8
 	}
 	corpus := schryer.CorpusN(n)
-	for i := 0; i < len(corpus); i += stride {
-		x := corpus[i]
-		lo, err := floatprint.ShortestBelowDigits(x, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		hi, err := floatprint.ShortestAboveDigits(x, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		// Lower bound + 1 ulp(last digit) must overshoot x.
-		up, upK := incLast(lo.Digits[:lo.NSig], lo.K)
-		if !exactAbove(t, up, upK, x) {
-			t.Fatalf("%x: lower bound %v can be tightened: +1 ulp stays ≤ x", x, lo)
-		}
-		// Upper bound − 1 ulp(last digit) must undershoot x.  The
-		// generation loop never emits a trailing zero, so no borrow.
-		hd := append([]byte(nil), hi.Digits[:hi.NSig]...)
-		if hd[len(hd)-1] == 0 {
-			t.Fatalf("%x: upper bound %v has a trailing zero digit", x, hi)
-		}
-		hd[len(hd)-1]--
-		if !exactBelow(t, hd, hi.K, x) {
-			t.Fatalf("%x: upper bound %v can be tightened: -1 ulp stays ≥ x", x, hi)
-		}
+	for _, p := range pathOptions {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			for i := 0; i < len(corpus); i += stride {
+				x := corpus[i]
+				lo, err := floatprint.ShortestBelowDigits(x, p.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hi, err := floatprint.ShortestAboveDigits(x, p.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Lower bound + 1 ulp(last digit) must overshoot x.
+				up, upK := incLast(lo.Digits[:lo.NSig], lo.K)
+				if !exactAbove(t, up, upK, x) {
+					t.Fatalf("%x: lower bound %v can be tightened: +1 ulp stays ≤ x", x, lo)
+				}
+				// Upper bound − 1 ulp(last digit) must undershoot x.  The
+				// generation loop never emits a trailing zero, so no borrow.
+				hd := append([]byte(nil), hi.Digits[:hi.NSig]...)
+				if hd[len(hd)-1] == 0 {
+					t.Fatalf("%x: upper bound %v has a trailing zero digit", x, hi)
+				}
+				hd[len(hd)-1]--
+				if !exactBelow(t, hd, hi.K, x) {
+					t.Fatalf("%x: upper bound %v can be tightened: -1 ulp stays ≥ x", x, hi)
+				}
+			}
+		})
 	}
 }
 
@@ -186,7 +252,7 @@ func FuzzIntervalEnclosure(f *testing.F) {
 	f.Add(math.Float64bits(0.1), math.Float64bits(0.3))
 	f.Add(math.Float64bits(-0.0), math.Float64bits(0.0))
 	f.Add(math.Float64bits(math.Inf(-1)), math.Float64bits(math.Inf(1)))
-	f.Add(uint64(1), uint64(2))                            // denormals
+	f.Add(uint64(1), uint64(2)) // denormals
 	f.Add(math.Float64bits(math.MaxFloat64), math.Float64bits(math.Inf(1)))
 	f.Add(math.Float64bits(1e23), math.Float64bits(1e23))
 	f.Fuzz(func(t *testing.T, aBits, bBits uint64) {

@@ -97,6 +97,13 @@ func (r ReaderRounding) reader() reader.RoundMode {
 // proof, Ryū's exact-halfway ties, Grisu3 certification failures).
 // Selecting a backend therefore changes the path mix and the speed, never
 // the answer.
+//
+// Backend also gates Parse's certified fast paths: BackendExact forces
+// every parse through the exact big-integer reader, where any other value
+// lets the Eisel–Lemire paths (nearest-even and directed) serve what they
+// can certify.  Parsed values and errors are identical either way — the
+// knob exists so differential tests and benchmarks can pin the exact
+// path.
 type Backend int
 
 const (
@@ -110,7 +117,8 @@ const (
 	// BackendRyu prefers the Ryū fast path (nearest-even reader only;
 	// exact fallback on halfway ties and unsupported modes).
 	BackendRyu
-	// BackendExact always runs the paper's exact big-integer algorithm.
+	// BackendExact always runs the paper's exact big-integer algorithm,
+	// and for Parse the exact big-integer reader.
 	BackendExact
 )
 

@@ -28,11 +28,14 @@ var ErrRange = errors.New("floatprint: value out of range")
 // where every letter is itself a valid digit (base ≥ 24 for "inf"/"nan",
 // ≥ 35 for "infinity"), where the string reads as the number it spells.
 //
-// Base-10 inputs under the nearest-even reader take a certified
-// Eisel–Lemire fast path (internal/fastparse); everything the fast path
-// cannot certify — other bases, directed rounding modes, exact
-// round-to-even ties, subnormal or out-of-range magnitudes — falls back
-// to the exact big-integer reader with identical results.
+// Base-10 inputs take a certified Eisel–Lemire fast path
+// (internal/fastparse): the classic nearest-even variant under the
+// default reader, and a directed variant proving the truncated quotient
+// under ReaderTowardNegInf/ReaderTowardPosInf.  Everything neither can
+// certify — other bases, the remaining tie modes, exact ties, subnormal
+// or out-of-range magnitudes — falls back to the exact big-integer
+// reader with identical results and errors.  BackendExact in the options
+// forces the exact reader for every input.
 func Parse(s string, opts *Options) (float64, error) {
 	o, err := opts.norm()
 	if err != nil {
@@ -71,15 +74,31 @@ func parse64(s string, o Options, tr *Trace) (float64, error) {
 		traceSpecial(tr, o.Base)
 		return f, nil
 	}
+	// Certified fast paths, one per reader family; BackendExact pins the
+	// exact reader (the documented forced-off knob for differential tests).
 	fastMiss := false
-	if o.Base == 10 && o.Reader.reader() == reader.NearestEven {
-		if f, nd, ok := fastparse.Parse64(s); ok {
-			stats.ParseFastHits.Inc()
-			traceFastParse(tr, o, nd)
-			return f, nil
+	if o.Base == 10 && o.Backend != BackendExact {
+		switch mode := o.Reader.reader(); mode {
+		case reader.NearestEven:
+			if f, nd, ok := fastparse.Parse64(s); ok {
+				stats.ParseFastHits.Inc()
+				traceFastParse(tr, o, nd)
+				return f, nil
+			}
+			stats.ParseFastMisses.Inc()
+			fastMiss = true
+		case reader.TowardNegInf, reader.TowardPosInf:
+			// The directed variant certifies error identity too: any input
+			// the exact reader would pair with ErrRange (saturated overflow
+			// included) is declined, so the error text below never forks.
+			if f, nd, ok := fastparse.ParseDirected64(s, mode == reader.TowardPosInf); ok {
+				stats.DirectedFastHits.Inc()
+				traceFastParse(tr, o, nd)
+				return f, nil
+			}
+			stats.DirectedFastMisses.Inc()
+			fastMiss = true
 		}
-		stats.ParseFastMisses.Inc()
-		fastMiss = true
 	}
 	n, err := reader.ParseText(s, o.Base)
 	if err != nil {
@@ -117,7 +136,10 @@ func Parse32(s string, opts *Options) (float32, error) {
 	if f, ok := parseSpecial(s, o.Base); ok {
 		return float32(f), nil
 	}
-	if o.Base == 10 && o.Reader.reader() == reader.NearestEven {
+	// Only the nearest fast path exists at single precision; the directed
+	// modes go straight to the exact reader (the 64-bit directed kernel's
+	// certificate does not transfer across the narrowing).
+	if o.Base == 10 && o.Backend != BackendExact && o.Reader.reader() == reader.NearestEven {
 		if f, nd, ok := fastparse.Parse32(s); ok {
 			stats.ParseFastHits.Inc()
 			if stats.Enabled() {

@@ -6,6 +6,7 @@ package floatprint
 // in base 24), and the parse path-mix counters.
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -162,6 +163,116 @@ func TestParseSpecialsBaseAware(t *testing.T) {
 	}
 	if got, err := Parse32("inf", &Options{Base: 36}); err != nil || got != float32(digitVal("inf", 36)) {
 		t.Fatalf("Parse32(\"inf\", base=36) = %g, %v; want the numeral", got, err)
+	}
+}
+
+// TestDirectedParseErrorIdentity is the satellite differential for the
+// directed parse fast path, pinning error *identity*, not just value
+// identity: for every adversarial input, the default-dispatch parse and
+// the forced-exact parse must agree on the returned bits, on whether an
+// error occurred, and on the error text byte for byte.  The deliberate
+// focus is the PR-8 bug class — a value just above MaxFloat64 under the
+// truncating direction saturates at MaxFloat64 *with* ErrRange, so a
+// fast path that truncates to the same bits but drops the error would
+// pass any value-only differential.
+func TestDirectedParseErrorIdentity(t *testing.T) {
+	inputs := []string{
+		// Overflow frontier: saturates (MaxFloat64 + ErrRange) under the
+		// truncating direction, ±Inf + ErrRange under the outward one.
+		"1.7976931348623158e308", "-1.7976931348623158e308",
+		"1.7976931348623157e308", "-1.7976931348623157e308",
+		"1e309", "-1e309", "2e308", "1e999", "-1e999", "1e99999",
+		"179769313486231580793728971405303415261810836789423e258",
+		// Underflow frontier: denormals and the sub-denormal band (rounds
+		// to ±0 or the smallest denormal depending on direction, no error).
+		"5e-324", "-5e-324", "1e-323", "4.9e-324", "1e-324", "1e-400",
+		"2.2250738585072014e-308", "2.2250738585072011e-308",
+		// Ordinary traffic, ties, truncated significands.
+		"0.3", "-0.1", "1.5", "1e23", "9007199254740993",
+		"3.141592653589793238462643383279502884197169399375105820974944",
+		"123456789012345678901234567890e-10",
+		// Syntax errors: identical error text required.
+		"", "+", "-", "1e", "e5", "1.2.3", "0x10", "12#.#", " 1", "1 ",
+		// Marks and '@' exponents from the paper's grammar.
+		"1#2", "12##e-2", "1@5", "-3@-2",
+		// Specials.
+		"inf", "-inf", "nan", "Infinity",
+	}
+	modes := []ReaderRounding{ReaderTowardNegInf, ReaderTowardPosInf}
+	for _, mode := range modes {
+		fastOpts := &Options{Reader: mode}
+		exactOpts := &Options{Reader: mode, Backend: BackendExact}
+		for _, s := range inputs {
+			fv, ferr := Parse(s, fastOpts)
+			ev, eerr := Parse(s, exactOpts)
+			if math.Float64bits(fv) != math.Float64bits(ev) {
+				t.Errorf("Parse(%q, %v): fast %g (%#x), exact %g (%#x)",
+					s, mode, fv, math.Float64bits(fv), ev, math.Float64bits(ev))
+			}
+			if (ferr == nil) != (eerr == nil) {
+				t.Errorf("Parse(%q, %v): fast err %v, exact err %v", s, mode, ferr, eerr)
+				continue
+			}
+			if ferr != nil && ferr.Error() != eerr.Error() {
+				t.Errorf("Parse(%q, %v): error text diverged\nfast:  %q\nexact: %q",
+					s, mode, ferr.Error(), eerr.Error())
+			}
+		}
+	}
+	// The headline case, pinned absolutely rather than differentially: an
+	// overflow toward the truncating direction keeps both the saturated
+	// value and the range error.
+	v, err := Parse("1e309", &Options{Reader: ReaderTowardNegInf})
+	if v != math.MaxFloat64 || !errors.Is(err, ErrRange) {
+		t.Errorf("Parse(1e309, TowardNegInf) = %g, %v; want MaxFloat64 with ErrRange", v, err)
+	}
+	v, err = Parse("-1e309", &Options{Reader: ReaderTowardPosInf})
+	if v != -math.MaxFloat64 || !errors.Is(err, ErrRange) {
+		t.Errorf("Parse(-1e309, TowardPosInf) = %g, %v; want -MaxFloat64 with ErrRange", v, err)
+	}
+}
+
+// TestDirectedParseStatsAndGuards pins the dispatch gate for the
+// directed fast parse: base-10 directed parses attempt it (hit or miss),
+// while non-decimal bases, nearest modes, and BackendExact never do.
+func TestDirectedParseStatsAndGuards(t *testing.T) {
+	ResetStats()
+	prev := SetStatsEnabled(true)
+	defer SetStatsEnabled(prev)
+
+	before := Snapshot()
+	down := &Options{Reader: ReaderTowardNegInf}
+	up := &Options{Reader: ReaderTowardPosInf}
+	for _, s := range []string{"0.3", "1.5", "-2.25"} { // certifiable
+		if _, err := Parse(s, down); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Parse("5e-324", up); err != nil { // declined: subnormal
+		t.Fatal(err)
+	}
+	if _, err := Parse("ff.8", &Options{Base: 16, Reader: ReaderTowardNegInf}); err != nil {
+		t.Fatal(err) // gate skipped: base
+	}
+	if _, err := Parse("0.3", &Options{Reader: ReaderTowardNegInf, Backend: BackendExact}); err != nil {
+		t.Fatal(err) // gate skipped: forced exact
+	}
+	if _, err := Parse("0.3", nil); err != nil {
+		t.Fatal(err) // nearest traffic lands on the nearest counters
+	}
+	d := Snapshot().Sub(before)
+	if d.DirectedFastHits != 3 {
+		t.Errorf("DirectedFastHits = %d, want 3", d.DirectedFastHits)
+	}
+	if d.DirectedFastMisses != 1 {
+		t.Errorf("DirectedFastMisses = %d, want 1", d.DirectedFastMisses)
+	}
+	// Exact parses: the one decline plus the two gate-skipped parses.
+	if d.ParseExact != 3 {
+		t.Errorf("ParseExact = %d, want 3", d.ParseExact)
+	}
+	if d.ParseFastHits != 1 {
+		t.Errorf("ParseFastHits = %d, want 1 (the nearest parse)", d.ParseFastHits)
 	}
 }
 

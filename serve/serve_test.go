@@ -183,6 +183,58 @@ func TestIntervalEndpoint(t *testing.T) {
 	}
 }
 
+// TestIntervalEndpointNonDecimalGuard pins the satellite guard at the
+// service boundary: a /v1/interval request in a non-decimal base (or a
+// non-default scaling) flows through optionsFromQuery into the library,
+// where the static dispatch guards must route it to the exact one-sided
+// core — the base-10 directed kernels must never even be attempted, in
+// either direction.  A kernel reached with base=16 would emit
+// well-formed decimal garbage, so the telemetry is the test: zero
+// directed attempts, nonzero exact work.
+func TestIntervalEndpointNonDecimalGuard(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	floatprint.ResetStats()
+	prev := floatprint.SetStatsEnabled(true)
+	defer floatprint.SetStatsEnabled(prev)
+
+	// Print form: 0.5 is exactly 0.8 in hex, its own one-sided bound.
+	code, body := get(t, ts.URL+"/v1/interval?lo=0.5&hi=0.5&base=16")
+	if code != http.StatusOK || body != "[0.8,0.8]\n" {
+		t.Errorf("interval?lo=0.5&hi=0.5&base=16 = %d %q, want 200 %q", code, body, "[0.8,0.8]\n")
+	}
+	// Parse form: hex interval text read outward, re-rendered in hex.
+	code, body = get(t, ts.URL+"/v1/interval?base=16&s="+url.QueryEscape("[0.8,0.8]"))
+	if code != http.StatusOK || body != "[0.8,0.8]\n" {
+		t.Errorf("interval?s=[0.8,0.8]&base=16 = %d %q, want 200 %q", code, body, "[0.8,0.8]\n")
+	}
+
+	d := floatprint.Snapshot()
+	if d.DirectedRyuHits+d.DirectedRyuMisses != 0 {
+		t.Errorf("base-16 interval requests reached the directed print kernels: hits=%d misses=%d",
+			d.DirectedRyuHits, d.DirectedRyuMisses)
+	}
+	if d.DirectedFastHits+d.DirectedFastMisses != 0 {
+		t.Errorf("base-16 interval requests reached the directed parse fast path: hits=%d misses=%d",
+			d.DirectedFastHits, d.DirectedFastMisses)
+	}
+	if d.ExactFree == 0 || d.ParseExact == 0 {
+		t.Errorf("base-16 interval requests did not run the exact paths: %+v", d)
+	}
+
+	// The complementary pin: the same requests in base 10 do use the
+	// directed fast paths end to end.
+	floatprint.ResetStats()
+	get(t, ts.URL+"/v1/interval?lo=0.1&hi=0.3")
+	get(t, ts.URL+"/v1/interval?s="+url.QueryEscape("[0.1,0.3]"))
+	d = floatprint.Snapshot()
+	if d.DirectedRyuHits == 0 {
+		t.Errorf("base-10 interval print did not use the directed kernels: %+v", d)
+	}
+	if d.DirectedFastHits == 0 {
+		t.Errorf("base-10 interval parse did not use the directed fast path: %+v", d)
+	}
+}
+
 func TestFixedEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for _, tc := range []struct {

@@ -53,9 +53,21 @@ type Stats struct {
 	BatchParseBytes     uint64 // input bytes consumed by the batch engine
 	BatchParseFallbacks uint64 // tokens declined to the per-value parser
 
+	// Directed-rounding fast paths (floor/ceil printing and parsing, the
+	// interval package's workhorses).  DirectedRyu* count one-sided
+	// shortest conversions where a directed Ryū kernel was attempted;
+	// DirectedFast* count directed-mode parses where the directed
+	// Eisel–Lemire path was attempted.  Misses fall back to the exact
+	// core/reader and also advance ExactFree / ParseExact.
+	DirectedRyuHits    uint64 // directed prints served by one-sided Ryū
+	DirectedRyuMisses  uint64 // one-sided Ryū attempted, declined
+	DirectedFastHits   uint64 // directed parses certified by the fast path
+	DirectedFastMisses uint64 // directed fast parse attempted, declined
+
 	// Interval counters (the interval package).  Each counts whole
 	// [lo,hi] operations; the per-endpoint directed conversions behind
-	// them also advance ExactFree (printing) and ParseExact (reading).
+	// them also advance the directed fast-path counters above (hits) or
+	// ExactFree / ParseExact (misses and forced-exact runs).
 	IntervalPrints uint64 // intervals formatted by interval.AppendShortest
 	IntervalParses uint64 // intervals read by interval.Parse
 
@@ -125,6 +137,11 @@ func (s Stats) Sub(prev Stats) Stats {
 		BatchParseBytes:     s.BatchParseBytes - prev.BatchParseBytes,
 		BatchParseFallbacks: s.BatchParseFallbacks - prev.BatchParseFallbacks,
 
+		DirectedRyuHits:    s.DirectedRyuHits - prev.DirectedRyuHits,
+		DirectedRyuMisses:  s.DirectedRyuMisses - prev.DirectedRyuMisses,
+		DirectedFastHits:   s.DirectedFastHits - prev.DirectedFastHits,
+		DirectedFastMisses: s.DirectedFastMisses - prev.DirectedFastMisses,
+
 		IntervalPrints: s.IntervalPrints - prev.IntervalPrints,
 		IntervalParses: s.IntervalParses - prev.IntervalParses,
 
@@ -169,6 +186,8 @@ func (s Stats) String() string {
 		fmt.Fprintf(&sb, "  %-22s %11.4f%%\n", "batch-parse fb rate",
 			100*float64(s.BatchParseFallbacks)/float64(s.BatchParseValues))
 	}
+	rate("directed ryu", s.DirectedRyuHits, s.DirectedRyuMisses)
+	rate("directed parse", s.DirectedFastHits, s.DirectedFastMisses)
 	line("interval prints", s.IntervalPrints)
 	line("interval parses", s.IntervalParses)
 	if s.TraceConversions > 0 {
@@ -217,6 +236,10 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 		{"floatprint_batch_parse_values_total", "Values parsed by the batch parse engine.", s.BatchParseValues},
 		{"floatprint_batch_parse_bytes_total", "Input bytes consumed by the batch parse engine.", s.BatchParseBytes},
 		{"floatprint_batch_parse_fallbacks_total", "Batch-parse tokens declined to the per-value parser.", s.BatchParseFallbacks},
+		{"floatprint_directed_ryu_hits_total", "Directed shortest conversions served by the one-sided Ryu kernels.", s.DirectedRyuHits},
+		{"floatprint_directed_ryu_misses_total", "Directed shortest conversions where a one-sided kernel declined.", s.DirectedRyuMisses},
+		{"floatprint_directed_fast_hits_total", "Directed parses certified by the directed Eisel-Lemire fast path.", s.DirectedFastHits},
+		{"floatprint_directed_fast_misses_total", "Directed parses where the fast path declined to the exact reader.", s.DirectedFastMisses},
 		{"floatprint_interval_prints_total", "Intervals formatted by the interval package.", s.IntervalPrints},
 		{"floatprint_interval_parses_total", "Intervals read by the interval package.", s.IntervalParses},
 		{"floatprint_trace_conversions_total", "Conversions folded into the trace aggregate.", s.TraceConversions},
@@ -254,6 +277,11 @@ func fromSnap(s stats.Snapshot) Stats {
 		BatchParseValues:    s.BatchParseValues,
 		BatchParseBytes:     s.BatchParseBytes,
 		BatchParseFallbacks: s.BatchParseFallbacks,
+
+		DirectedRyuHits:    s.DirectedRyuHits,
+		DirectedRyuMisses:  s.DirectedRyuMisses,
+		DirectedFastHits:   s.DirectedFastHits,
+		DirectedFastMisses: s.DirectedFastMisses,
 
 		IntervalPrints: s.IntervalPrints,
 		IntervalParses: s.IntervalParses,

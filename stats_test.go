@@ -114,6 +114,8 @@ func TestStatsWritePrometheus(t *testing.T) {
 		ParseFastHits: 970, ParseFastMisses: 30, ParseExact: 45,
 		BatchParseBlocks: 12, BatchParseValues: 5000,
 		BatchParseBytes: 90000, BatchParseFallbacks: 7,
+		DirectedRyuHits: 40, DirectedRyuMisses: 2,
+		DirectedFastHits: 36, DirectedFastMisses: 4,
 		IntervalPrints: 21, IntervalParses: 19,
 		TraceConversions: 1050, TraceEstimates: 55, TraceFixups: 17,
 		TraceIterations: 16000, TraceDigits: 15800, TraceRoundUps: 500,
@@ -173,6 +175,18 @@ floatprint_batch_parse_bytes_total 90000
 # HELP floatprint_batch_parse_fallbacks_total Batch-parse tokens declined to the per-value parser.
 # TYPE floatprint_batch_parse_fallbacks_total counter
 floatprint_batch_parse_fallbacks_total 7
+# HELP floatprint_directed_ryu_hits_total Directed shortest conversions served by the one-sided Ryu kernels.
+# TYPE floatprint_directed_ryu_hits_total counter
+floatprint_directed_ryu_hits_total 40
+# HELP floatprint_directed_ryu_misses_total Directed shortest conversions where a one-sided kernel declined.
+# TYPE floatprint_directed_ryu_misses_total counter
+floatprint_directed_ryu_misses_total 2
+# HELP floatprint_directed_fast_hits_total Directed parses certified by the directed Eisel-Lemire fast path.
+# TYPE floatprint_directed_fast_hits_total counter
+floatprint_directed_fast_hits_total 36
+# HELP floatprint_directed_fast_misses_total Directed parses where the fast path declined to the exact reader.
+# TYPE floatprint_directed_fast_misses_total counter
+floatprint_directed_fast_misses_total 4
 # HELP floatprint_interval_prints_total Intervals formatted by the interval package.
 # TYPE floatprint_interval_prints_total counter
 floatprint_interval_prints_total 21
